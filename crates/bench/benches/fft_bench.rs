@@ -1,0 +1,40 @@
+//! Criterion bench B1: 2-D FFT throughput across clip-relevant sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ganopc_fft::{Complex, Direction, Fft2d};
+
+fn bench_fft2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft2d_forward");
+    group.sample_size(20);
+    for size in [64usize, 128, 256] {
+        let plan = Fft2d::new(size, size).unwrap();
+        let data: Vec<Complex> = (0..size * size)
+            .map(|i| Complex::new((i as f32 * 0.37).sin(), 0.0))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.transform(&mut buf, Direction::Forward).unwrap();
+                buf
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let plan = Fft2d::new(128, 128).unwrap();
+    let data: Vec<Complex> =
+        (0..128 * 128).map(|i| Complex::new((i as f32 * 0.11).cos(), 0.0)).collect();
+    c.bench_function("fft2d_roundtrip_128", |b| {
+        b.iter(|| {
+            let mut buf = data.clone();
+            plan.transform(&mut buf, Direction::Forward).unwrap();
+            plan.transform(&mut buf, Direction::Inverse).unwrap();
+            buf
+        })
+    });
+}
+
+criterion_group!(benches, bench_fft2d, bench_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench B5: the end-to-end GAN-OPC flow (Fig. 6) on one clip.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ganopc_core::{FlowConfig, GanOpcFlow};
+use ganopc_geometry::synthesis::benchmark_suite;
+
+fn bench_flow(c: &mut Criterion) {
+    let mut cfg = FlowConfig::fast();
+    cfg.litho_size = 128;
+    cfg.net_size = 32;
+    cfg.refinement.max_iterations = 10;
+    let mut flow = GanOpcFlow::new(cfg).unwrap();
+    let clip = &benchmark_suite(2048)[0];
+    let target = clip.layout.rasterize_raster(128, 128).binarize(0.5);
+    let mut group = c.benchmark_group("gan_opc_flow");
+    group.sample_size(10);
+    group.bench_function("fig6_128_10refine", |b| b.iter(|| flow.optimize(&target).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench B4: cost of one ILT steepest-descent iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ganopc_ilt::{IltConfig, IltEngine};
+use ganopc_litho::{Field, LithoModel};
+
+fn cross(size: usize) -> Field {
+    let mut t = Field::zeros(size, size);
+    for y in size / 4..3 * size / 4 {
+        for x in size / 2 - 3..size / 2 + 3 {
+            t.set(y, x, 1.0);
+        }
+    }
+    t
+}
+
+fn bench_ilt_iterations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilt");
+    group.sample_size(10);
+    for (label, pw) in [("nominal_5iter_128", false), ("pw_aware_5iter_128", true)] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let model = LithoModel::iccad2013_like(128).unwrap();
+                    let mut cfg = IltConfig::fast();
+                    cfg.max_iterations = 5;
+                    cfg.process_window_aware = pw;
+                    (IltEngine::new(model, cfg), cross(128))
+                },
+                |(mut engine, target)| engine.optimize(&target).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ilt_iterations);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench B3: network building blocks and generator inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ganopc_core::Generator;
+use ganopc_nn::layers::{Conv2d, Layer};
+use ganopc_nn::{init, Tensor};
+
+fn bench_conv(c: &mut Criterion) {
+    let mut conv = Conv2d::new(16, 32, 4, 2, 1, 1);
+    let x = init::uniform(&[4, 16, 32, 32], -1.0, 1.0, 2);
+    let mut group = c.benchmark_group("conv2d");
+    group.sample_size(20);
+    group.bench_function("forward_16x32_s2", |b| b.iter(|| conv.forward(&x, true)));
+    let y = conv.forward(&x, true);
+    let g = Tensor::filled(y.shape(), 1.0);
+    group.bench_function("backward_16x32_s2", |b| b.iter(|| conv.backward(&g)));
+    group.finish();
+}
+
+fn bench_generator_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator_inference");
+    group.sample_size(20);
+    for size in [32usize, 64] {
+        let mut g = Generator::new(size, 16, 7);
+        let x = init::uniform(&[1, 1, size, size], 0.0, 1.0, 3);
+        group.bench_function(format!("forward_{size}"), |b| b.iter(|| g.forward(&x, false)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv, bench_generator_inference);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Conventional-OPC baseline shoot-out on the ten benchmark clips:
+//! no OPC vs model-based OPC (with and without SRAFs) vs ILT — the
+//! landscape the paper's Section 1 describes (model-based flows are fast
+//! but solution-space-limited; ILT is slower but higher quality).
+//!
+//! ```text
+//! cargo run -p ganopc-bench --release --bin baselines
+//! ```
+
+use ganopc_bench::{make_baseline, rasterized_suite, Scale};
+use ganopc_litho::metrics::squared_l2_nm2;
+use ganopc_litho::LithoModel;
+use ganopc_mbopc::{MbOpcConfig, MbOpcEngine};
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {scale:?}");
+    let size = scale.litho_size();
+    let suite = rasterized_suite(size);
+
+    let plain_model = LithoModel::iccad2013_like(size).expect("litho model");
+    let px = plain_model.pixel_nm();
+
+    let mut mb_cfg = MbOpcConfig::standard();
+    mb_cfg.insert_srafs = false;
+    let mut mb = MbOpcEngine::new(LithoModel::iccad2013_like(size).expect("model"), mb_cfg);
+
+    let mut mbs_cfg = MbOpcConfig::standard();
+    mbs_cfg.insert_srafs = true;
+    let mut mbs = MbOpcEngine::new(LithoModel::iccad2013_like(size).expect("model"), mbs_cfg);
+
+    let mut ilt = make_baseline(scale);
+
+    println!(
+        "{:>4} | {:>10} | {:>10} {:>7} | {:>10} {:>7} {:>6} | {:>10} {:>7}",
+        "ID", "no-OPC L2", "MB L2", "RT(s)", "MB+SRAF", "RT(s)", "bars", "ILT L2", "RT(s)"
+    );
+    let mut sums = [0.0f64; 4];
+    for (clip, target) in &suite {
+        let no_opc = squared_l2_nm2(&plain_model.print_nominal(target), target, px);
+
+        let t0 = Instant::now();
+        let mb_result = mb.optimize(&clip.layout).expect("mb-opc");
+        let mb_rt = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let mbs_result = mbs.optimize(&clip.layout).expect("mb-opc+sraf");
+        let mbs_rt = t1.elapsed().as_secs_f64();
+
+        let ilt_result = ilt.optimize(target).expect("ilt");
+
+        println!(
+            "{:>4} | {:>10.0} | {:>10.0} {:>7.2} | {:>10.0} {:>7.2} {:>6} | {:>10.0} {:>7.2}",
+            clip.id,
+            no_opc,
+            mb_result.binary_l2_nm2,
+            mb_rt,
+            mbs_result.binary_l2_nm2,
+            mbs_rt,
+            mbs_result.srafs.len(),
+            ilt_result.binary_l2_nm2,
+            ilt_result.runtime_s
+        );
+        sums[0] += no_opc;
+        sums[1] += mb_result.binary_l2_nm2;
+        sums[2] += mbs_result.binary_l2_nm2;
+        sums[3] += ilt_result.binary_l2_nm2;
+    }
+    let n = suite.len() as f64;
+    println!(
+        "{:>4} | {:>10.0} | {:>10.0} {:>7} | {:>10.0} {:>7} {:>6} | {:>10.0} {:>7}",
+        "avg", sums[0] / n, sums[1] / n, "", sums[2] / n, "", "", sums[3] / n, ""
+    );
+    println!();
+    println!("expected ordering (paper Section 1): no-OPC > MB-OPC >= MB+SRAF > ILT on L2,");
+    println!("with MB-OPC much faster than ILT.");
+}

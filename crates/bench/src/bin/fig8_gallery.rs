@@ -1,0 +1,43 @@
+//! Regenerates **Figure 8**: for each of the ten benchmark clips, a PGM
+//! strip with rows (a) ILT mask, (b) PGAN-OPC mask, (c) ILT wafer,
+//! (d) PGAN-OPC wafer, (e) target — matching the paper's row layout.
+//!
+//! ```text
+//! cargo run -p ganopc-bench --release --bin fig8_gallery
+//! ```
+//!
+//! Images land in `target/fig8/case<N>.pgm` plus a combined
+//! `target/fig8/gallery.pgm`.
+
+use ganopc_bench::{build_dataset, make_baseline, make_flow, rasterized_suite, train_variant, Scale};
+use ganopc_geometry::io::{hstack, vstack, write_pgm};
+use ganopc_geometry::raster::Raster;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {scale:?}");
+    let dataset = build_dataset(scale, 424_242);
+    eprintln!("training PGAN-OPC...");
+    let pgan = train_variant(scale, &dataset, true, 1);
+    let mut flow = make_flow(scale, pgan.generator);
+    let mut baseline = make_baseline(scale);
+
+    let out_dir = std::path::Path::new("target/fig8");
+    std::fs::create_dir_all(out_dir).expect("create output dir");
+
+    let suite = rasterized_suite(scale.litho_size());
+    let mut columns: Vec<Raster> = Vec::new();
+    for (clip, target) in &suite {
+        eprintln!("case {}...", clip.id);
+        let ilt = baseline.optimize(target).expect("ilt");
+        let gan = flow.optimize(target).expect("flow");
+        // Rows (a)-(e) as in the paper.
+        let strip = vstack(&[&ilt.mask, &gan.mask, &ilt.wafer, &gan.wafer, target]);
+        write_pgm(out_dir.join(format!("case{}.pgm", clip.id)), &strip).expect("write pgm");
+        columns.push(strip);
+    }
+    let refs: Vec<&Raster> = columns.iter().collect();
+    write_pgm(out_dir.join("gallery.pgm"), &hstack(&refs)).expect("write gallery");
+    eprintln!("wrote target/fig8/case*.pgm and target/fig8/gallery.pgm");
+    eprintln!("rows top-to-bottom: ILT mask, PGAN mask, ILT wafer, PGAN wafer, target");
+}

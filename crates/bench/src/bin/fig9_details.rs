@@ -1,0 +1,86 @@
+//! Regenerates **Figure 9**: wafer-image defect close-ups comparing the
+//! ILT baseline and PGAN-OPC — the paper points out the baseline's smaller
+//! PV band comes with bridge and line-end pull-back defects.
+//!
+//! ```text
+//! cargo run -p ganopc-bench --release --bin fig9_details
+//! ```
+//!
+//! Prints a per-case defect inventory (EPE / bridge / break / neck from the
+//! Fig. 2 detectors) for both flows and writes defect-window crops to
+//! `target/fig9/`.
+
+use ganopc_bench::{build_dataset, make_baseline, make_flow, rasterized_suite, train_variant, Scale};
+use ganopc_geometry::io::write_pgm;
+use ganopc_litho::metrics::{DefectConfig, MaskMetrics};
+use ganopc_litho::Field;
+
+/// Crops a window around the first differing region between two wafers.
+fn crop_first_diff(a: &Field, b: &Field, half: usize) -> Option<(Field, Field)> {
+    let (h, w) = a.shape();
+    for y in 0..h {
+        for x in 0..w {
+            if (a.get(y, x) - b.get(y, x)).abs() > 0.5 {
+                let y0 = y.saturating_sub(half);
+                let x0 = x.saturating_sub(half);
+                let y1 = (y + half).min(h);
+                let x1 = (x + half).min(w);
+                let mut ca = Field::zeros(y1 - y0, x1 - x0);
+                let mut cb = Field::zeros(y1 - y0, x1 - x0);
+                for yy in y0..y1 {
+                    for xx in x0..x1 {
+                        ca.set(yy - y0, xx - x0, a.get(yy, xx));
+                        cb.set(yy - y0, xx - x0, b.get(yy, xx));
+                    }
+                }
+                return Some((ca, cb));
+            }
+        }
+    }
+    None
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {scale:?}");
+    let dataset = build_dataset(scale, 424_242);
+    eprintln!("training PGAN-OPC...");
+    let pgan = train_variant(scale, &dataset, true, 1);
+    let mut flow = make_flow(scale, pgan.generator);
+    let mut baseline = make_baseline(scale);
+    let defect_cfg = DefectConfig::default();
+
+    let out_dir = std::path::Path::new("target/fig9");
+    std::fs::create_dir_all(out_dir).expect("create output dir");
+
+    println!(
+        "{:>4} | {:^31} | {:^31}",
+        "ID", "ILT (EPE brg brk nck PVB)", "PGAN-OPC (EPE brg brk nck PVB)"
+    );
+    for (clip, target) in &rasterized_suite(scale.litho_size()) {
+        let ilt = baseline.optimize(target).expect("ilt");
+        let gan = flow.optimize(target).expect("flow");
+        let m_ilt =
+            MaskMetrics::evaluate(baseline.model(), &ilt.mask, target, &defect_cfg);
+        let m_gan = MaskMetrics::evaluate(flow.model(), &gan.mask, target, &defect_cfg);
+        println!(
+            "{:>4} | {:>4} {:>4} {:>4} {:>4} {:>8.0} | {:>4} {:>4} {:>4} {:>4} {:>8.0}",
+            clip.id,
+            m_ilt.epe_violations,
+            m_ilt.bridges,
+            m_ilt.breaks,
+            m_ilt.necks,
+            m_ilt.pvb_nm2,
+            m_gan.epe_violations,
+            m_gan.bridges,
+            m_gan.breaks,
+            m_gan.necks,
+            m_gan.pvb_nm2
+        );
+        if let Some((ca, cb)) = crop_first_diff(&ilt.wafer, &gan.wafer, 16) {
+            write_pgm(out_dir.join(format!("case{}_ilt.pgm", clip.id)), &ca).expect("pgm");
+            write_pgm(out_dir.join(format!("case{}_pgan.pgm", clip.id)), &cb).expect("pgm");
+        }
+    }
+    eprintln!("wrote defect-window crops to target/fig9/");
+}

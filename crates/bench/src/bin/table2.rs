@@ -1,0 +1,93 @@
+//! Regenerates **Table 2**: ILT \[7\] vs GAN-OPC vs PGAN-OPC on the ten
+//! benchmark clips (squared L2, PVB, runtime).
+//!
+//! ```text
+//! cargo run -p ganopc-bench --release --bin table2            # quick scale
+//! GANOPC_SCALE=paper cargo run -p ganopc-bench --release --bin table2
+//! ```
+//!
+//! Absolute numbers differ from the paper (different litho kernels,
+//! regenerated clips, CPU instead of a Titan X); the *shape* to check is
+//! the ratio row: GAN flows ≈ or < 1.0 in L2/PVB and well below 1.0 in
+//! runtime against the ILT baseline.
+
+use ganopc_bench::{
+    build_dataset, format_row, make_baseline, make_flow, mean_measurement, measure_baseline,
+    measure_flow, rasterized_suite, train_variant, FlowMeasurement, Scale, PAPER_TABLE2,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {scale:?} (set GANOPC_SCALE=paper for the larger run)");
+
+    eprintln!("[1/3] building training dataset ({} instances)...", scale.dataset_count());
+    let dataset = build_dataset(scale, 424_242);
+
+    eprintln!("[2/3] training GAN-OPC (no pre-training) and PGAN-OPC...");
+    let gan = train_variant(scale, &dataset, false, 1);
+    let pgan = train_variant(scale, &dataset, true, 1);
+    let mut gan_flow = make_flow(scale, gan.generator);
+    let mut pgan_flow = make_flow(scale, pgan.generator);
+    let mut baseline = make_baseline(scale);
+
+    eprintln!("[3/3] optimizing the ten benchmark clips with three flows...");
+    let suite = rasterized_suite(scale.litho_size());
+    let mut ilt_col = Vec::new();
+    let mut gan_col = Vec::new();
+    let mut pgan_col = Vec::new();
+
+    println!(
+        "{:>4} {:>9} | {:^27} | {:^27} | {:^27}",
+        "ID", "Area", "ILT (baseline)", "GAN-OPC", "PGAN-OPC"
+    );
+    println!(
+        "{:>4} {:>9} | {:>9} {:>9} {:>7} | {:>9} {:>9} {:>7} | {:>9} {:>9} {:>7}",
+        "", "nm^2", "L2", "PVB", "RT(s)", "L2", "PVB", "RT(s)", "L2", "PVB", "RT(s)"
+    );
+    for (clip, target) in &suite {
+        let ilt = measure_baseline(&mut baseline, target);
+        let gan_m = measure_flow(&mut gan_flow, target);
+        let pgan_m = measure_flow(&mut pgan_flow, target);
+        println!(
+            "{}",
+            format_row(&clip.id.to_string(), clip.layout.pattern_area(), &[ilt, gan_m, pgan_m])
+        );
+        ilt_col.push(ilt);
+        gan_col.push(gan_m);
+        pgan_col.push(pgan_m);
+    }
+
+    let ilt_avg = mean_measurement(&ilt_col);
+    let gan_avg = mean_measurement(&gan_col);
+    let pgan_avg = mean_measurement(&pgan_col);
+    println!("{}", format_row("avg", 0, &[ilt_avg, gan_avg, pgan_avg]));
+    let ratio = |m: &FlowMeasurement| {
+        format!(
+            " | {:>9.3} {:>9.3} {:>7.3}",
+            m.l2_nm2 / ilt_avg.l2_nm2,
+            m.pvb_nm2 / ilt_avg.pvb_nm2,
+            m.runtime_s / ilt_avg.runtime_s
+        )
+    };
+    println!(
+        "{:>4} {:>9}{}{}{}",
+        "rat",
+        "",
+        ratio(&ilt_avg),
+        ratio(&gan_avg),
+        ratio(&pgan_avg)
+    );
+
+    // Paper reference ratios for comparison.
+    let n = PAPER_TABLE2.len() as f64;
+    let p_ilt: f64 = PAPER_TABLE2.iter().map(|r| r.2[0]).sum::<f64>() / n;
+    let p_gan: f64 = PAPER_TABLE2.iter().map(|r| r.3[0]).sum::<f64>() / n;
+    let p_pgan: f64 = PAPER_TABLE2.iter().map(|r| r.4[0]).sum::<f64>() / n;
+    let p_ilt_rt: f64 = PAPER_TABLE2.iter().map(|r| r.2[2]).sum::<f64>() / n;
+    let p_gan_rt: f64 = PAPER_TABLE2.iter().map(|r| r.3[2]).sum::<f64>() / n;
+    let p_pgan_rt: f64 = PAPER_TABLE2.iter().map(|r| r.4[2]).sum::<f64>() / n;
+    println!();
+    println!("paper reference ratios (L2 / RT vs ILT):");
+    println!("  GAN-OPC : {:.3} / {:.3}", p_gan / p_ilt, p_gan_rt / p_ilt_rt);
+    println!("  PGAN-OPC: {:.3} / {:.3}", p_pgan / p_ilt, p_pgan_rt / p_ilt_rt);
+}

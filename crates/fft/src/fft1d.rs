@@ -1,0 +1,274 @@
+//! Planned 1-D radix-2 FFT.
+
+use crate::{Complex, Direction, FftError};
+
+/// A planned 1-D FFT for a fixed power-of-two length.
+///
+/// The plan precomputes the bit-reversal permutation and the twiddle factors
+/// for the *forward* transform; the inverse reuses the same tables with
+/// conjugated twiddles and a final `1/N` scale.
+///
+/// ```
+/// use ganopc_fft::{Complex, Direction, Fft1d};
+/// # fn main() -> Result<(), ganopc_fft::FftError> {
+/// let plan = Fft1d::new(16)?;
+/// let mut x: Vec<Complex> = (0..16).map(|k| Complex::new(k as f32, 0.0)).collect();
+/// let original = x.clone();
+/// plan.transform(&mut x, Direction::Forward)?;
+/// plan.transform(&mut x, Direction::Inverse)?;
+/// for (a, b) in x.iter().zip(&original) {
+///     assert!((a.re - b.re).abs() < 1e-4 && a.im.abs() < 1e-4);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fft1d {
+    len: usize,
+    log2_len: u32,
+    /// Bit-reversed index table; `rev[i]` is `i` with `log2_len` bits reversed.
+    rev: Vec<u32>,
+    /// Forward twiddles, laid out stage-by-stage: for each stage with
+    /// half-butterfly span `m`, the `m` factors `e^{-2πi·j/(2m)}`.
+    twiddles: Vec<Complex>,
+}
+
+impl Fft1d {
+    /// Plans a transform of length `len`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidLength`] unless `len` is a nonzero power of
+    /// two.
+    pub fn new(len: usize) -> Result<Self, FftError> {
+        if !crate::is_power_of_two(len) {
+            return Err(FftError::InvalidLength(len));
+        }
+        let log2_len = len.trailing_zeros();
+        let mut rev = vec![0u32; len];
+        for (i, r) in rev.iter_mut().enumerate() {
+            *r = (i as u32).reverse_bits() >> (32 - log2_len.max(1));
+        }
+        if len == 1 {
+            rev[0] = 0;
+        }
+        // Total twiddle count: 1 + 2 + 4 + ... + len/2 = len - 1.
+        let mut twiddles = Vec::with_capacity(len.saturating_sub(1));
+        let mut m = 1usize;
+        while m < len {
+            let step = -std::f32::consts::PI / m as f32;
+            for j in 0..m {
+                twiddles.push(Complex::cis(step * j as f32));
+            }
+            m <<= 1;
+        }
+        Ok(Fft1d { len, log2_len, rev, twiddles })
+    }
+
+    /// Length the plan was created for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` for the degenerate length-1 plan.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Transforms `data` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::SizeMismatch`] when `data.len() != self.len()`.
+    pub fn transform(&self, data: &mut [Complex], dir: Direction) -> Result<(), FftError> {
+        if data.len() != self.len {
+            return Err(FftError::SizeMismatch { expected: self.len, actual: data.len() });
+        }
+        self.transform_unchecked(data, dir);
+        Ok(())
+    }
+
+    /// Transforms a buffer whose length is known to match the plan.
+    ///
+    /// Used by [`crate::Fft2d`] on its internal scratch rows where the length
+    /// invariant is maintained structurally.
+    pub(crate) fn transform_unchecked(&self, data: &mut [Complex], dir: Direction) {
+        let n = self.len;
+        if n <= 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Iterative butterflies.
+        let conj = matches!(dir, Direction::Inverse);
+        let mut m = 1usize;
+        let mut tw_base = 0usize;
+        for _ in 0..self.log2_len {
+            let span = m << 1;
+            let mut k = 0;
+            while k < n {
+                for j in 0..m {
+                    let mut w = self.twiddles[tw_base + j];
+                    if conj {
+                        w = w.conj();
+                    }
+                    let a = data[k + j];
+                    let b = data[k + j + m] * w;
+                    data[k + j] = a + b;
+                    data[k + j + m] = a - b;
+                }
+                k += span;
+            }
+            tw_base += m;
+            m = span;
+        }
+        if conj {
+            let scale = 1.0 / n as f32;
+            for c in data.iter_mut() {
+                *c = c.scale(scale);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive O(N²) DFT used as the reference implementation.
+    fn naive_dft(input: &[Complex], dir: Direction) -> Vec<Complex> {
+        let n = input.len();
+        let sign = match dir {
+            Direction::Forward => -1.0f32,
+            Direction::Inverse => 1.0,
+        };
+        let mut out = vec![Complex::ZERO; n];
+        for (k, o) in out.iter_mut().enumerate() {
+            for (j, &x) in input.iter().enumerate() {
+                let theta = sign * 2.0 * std::f32::consts::PI * (k * j % n) as f32 / n as f32;
+                *o = o.mul_add(x, Complex::cis(theta));
+            }
+        }
+        if matches!(dir, Direction::Inverse) {
+            for o in &mut out {
+                *o = o.scale(1.0 / n as f32);
+            }
+        }
+        out
+    }
+
+    fn ramp(n: usize) -> Vec<Complex> {
+        (0..n).map(|k| Complex::new(k as f32 * 0.25 - 1.0, (k as f32 * 0.5).sin())).collect()
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert_eq!(Fft1d::new(0).err(), Some(FftError::InvalidLength(0)));
+        assert_eq!(Fft1d::new(3).err(), Some(FftError::InvalidLength(3)));
+        assert_eq!(Fft1d::new(48).err(), Some(FftError::InvalidLength(48)));
+        assert!(Fft1d::new(1).is_ok());
+        assert!(Fft1d::new(1024).is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_buffer_size() {
+        let plan = Fft1d::new(8).unwrap();
+        let mut data = vec![Complex::ZERO; 4];
+        assert_eq!(
+            plan.transform(&mut data, Direction::Forward),
+            Err(FftError::SizeMismatch { expected: 8, actual: 4 })
+        );
+    }
+
+    #[test]
+    fn matches_naive_dft_small_sizes() {
+        for log in 0..=7 {
+            let n = 1usize << log;
+            let plan = Fft1d::new(n).unwrap();
+            let input = ramp(n);
+            let expect = naive_dft(&input, Direction::Forward);
+            let mut got = input.clone();
+            plan.transform(&mut got, Direction::Forward).unwrap();
+            for (g, e) in got.iter().zip(&expect) {
+                assert!((g.re - e.re).abs() < 1e-2 * (n as f32).max(1.0), "n={n}");
+                assert!((g.im - e.im).abs() < 1e-2 * (n as f32).max(1.0), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        for n in [1usize, 2, 8, 64, 512] {
+            let plan = Fft1d::new(n).unwrap();
+            let input = ramp(n);
+            let mut data = input.clone();
+            plan.transform(&mut data, Direction::Forward).unwrap();
+            plan.transform(&mut data, Direction::Inverse).unwrap();
+            for (a, b) in data.iter().zip(&input) {
+                assert!((a.re - b.re).abs() < 1e-3);
+                assert!((a.im - b.im).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let plan = Fft1d::new(32).unwrap();
+        let mut data = vec![Complex::ZERO; 32];
+        data[0] = Complex::ONE;
+        plan.transform(&mut data, Direction::Forward).unwrap();
+        for c in &data {
+            assert!((c.re - 1.0).abs() < 1e-5 && c.im.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn constant_concentrates_at_dc() {
+        let plan = Fft1d::new(16).unwrap();
+        let mut data = vec![Complex::from_real(2.0); 16];
+        plan.transform(&mut data, Direction::Forward).unwrap();
+        assert!((data[0].re - 32.0).abs() < 1e-4);
+        for c in &data[1..] {
+            assert!(c.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 128;
+        let plan = Fft1d::new(n).unwrap();
+        let input = ramp(n);
+        let time_energy: f32 = input.iter().map(|c| c.norm_sqr()).sum();
+        let mut freq = input.clone();
+        plan.transform(&mut freq, Direction::Forward).unwrap();
+        let freq_energy: f32 = freq.iter().map(|c| c.norm_sqr()).sum::<f32>() / n as f32;
+        assert!((time_energy - freq_energy).abs() < 1e-2 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 64;
+        let plan = Fft1d::new(n).unwrap();
+        let a = ramp(n);
+        let b: Vec<Complex> = (0..n).map(|k| Complex::new((k as f32).cos(), 0.3)).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fab: Vec<Complex> =
+            a.iter().zip(&b).map(|(&x, &y)| x.scale(2.0) + y.scale(-0.5)).collect();
+        plan.transform(&mut fa, Direction::Forward).unwrap();
+        plan.transform(&mut fb, Direction::Forward).unwrap();
+        plan.transform(&mut fab, Direction::Forward).unwrap();
+        for i in 0..n {
+            let expect = fa[i].scale(2.0) + fb[i].scale(-0.5);
+            assert!((fab[i].re - expect.re).abs() < 1e-2);
+            assert!((fab[i].im - expect.im).abs() < 1e-2);
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Frequency-domain helpers shared by the lithography and ILT pipelines.
+//!
+//! The convolution convention used across the workspace is *cyclic*
+//! convolution on the full clip raster. Optical kernels have compact support
+//! (tens of pixels) while clips keep a dark margin wider than that support,
+//! so cyclic wrap-around never influences printed geometry — this mirrors how
+//! the ICCAD-2013 kit applies its kernels.
+
+use crate::{Complex, Direction, Fft2d, FftError};
+
+/// Multiplies two spectra element-wise into `a` (`a[i] *= b[i]`).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mul_assign(a: &mut [Complex], b: &[Complex]) {
+    assert_eq!(a.len(), b.len(), "spectrum length mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x *= *y;
+    }
+}
+
+/// Multiplies `a` element-wise by the conjugate of `b` (`a[i] *= conj(b[i])`),
+/// the frequency-domain form of cyclic *correlation* used in the ILT
+/// gradient (Eq. (14) of the paper, the `⊗ H*` terms).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mul_conj_assign(a: &mut [Complex], b: &[Complex]) {
+    assert_eq!(a.len(), b.len(), "spectrum length mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x *= y.conj();
+    }
+}
+
+/// Embeds a small centered kernel into a `height × width` frame so that the
+/// kernel origin (its center tap) lands at index `(0, 0)` with cyclic
+/// wrap-around — the layout required for FFT convolution to act as a
+/// *centered* spatial filter.
+///
+/// `kernel` is row-major `ksize × ksize` and `ksize` must be odd and no
+/// larger than either frame dimension.
+///
+/// # Panics
+///
+/// Panics if `kernel.len() != ksize * ksize`, if `ksize` is even, or if the
+/// kernel does not fit in the frame.
+pub fn embed_centered_kernel(
+    kernel: &[Complex],
+    ksize: usize,
+    height: usize,
+    width: usize,
+) -> Vec<Complex> {
+    assert_eq!(kernel.len(), ksize * ksize, "kernel buffer size mismatch");
+    assert!(ksize % 2 == 1, "kernel size must be odd");
+    assert!(ksize <= height && ksize <= width, "kernel larger than frame");
+    let half = ksize / 2;
+    let mut frame = vec![Complex::ZERO; height * width];
+    for ky in 0..ksize {
+        for kx in 0..ksize {
+            // Tap offset relative to the kernel center, wrapped cyclically.
+            let dy = (ky + height - half) % height;
+            let dx = (kx + width - half) % width;
+            frame[dy * width + dx] = kernel[ky * ksize + kx];
+        }
+    }
+    frame
+}
+
+/// Precomputed spectrum of a centered kernel, ready for repeated cyclic
+/// convolutions against same-sized fields.
+#[derive(Debug, Clone)]
+pub struct KernelSpectrum {
+    height: usize,
+    width: usize,
+    spectrum: Vec<Complex>,
+}
+
+impl KernelSpectrum {
+    /// Builds the spectrum of a centered `ksize × ksize` kernel embedded in a
+    /// `height × width` frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the frame dimensions are not powers of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`embed_centered_kernel`].
+    pub fn new(
+        kernel: &[Complex],
+        ksize: usize,
+        height: usize,
+        width: usize,
+    ) -> Result<Self, FftError> {
+        let plan = Fft2d::new(height, width)?;
+        let mut frame = embed_centered_kernel(kernel, ksize, height, width);
+        plan.transform(&mut frame, Direction::Forward)?;
+        Ok(KernelSpectrum { height, width, spectrum: frame })
+    }
+
+    /// Frame height.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Frame width.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The raw spectrum samples.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex] {
+        &self.spectrum
+    }
+
+    /// Sum of |spectrum|² — useful for energy diagnostics.
+    pub fn energy(&self) -> f32 {
+        self.spectrum.iter().map(|c| c.norm_sqr()).sum()
+    }
+}
+
+/// Cyclically convolves a real field with a precomputed kernel spectrum,
+/// returning the (complex) filtered field.
+///
+/// This is the building block of the SOCS aerial-image model
+/// `I = Σ_k w_k |M ⊗ h_k|²`.
+///
+/// # Errors
+///
+/// Returns [`FftError::SizeMismatch`] if `field.len()` does not match the
+/// kernel frame.
+pub fn convolve_real(
+    plan: &Fft2d,
+    field: &[f32],
+    kernel: &KernelSpectrum,
+) -> Result<Vec<Complex>, FftError> {
+    if field.len() != kernel.spectrum.len() || plan.len() != kernel.spectrum.len() {
+        return Err(FftError::SizeMismatch {
+            expected: kernel.spectrum.len(),
+            actual: field.len(),
+        });
+    }
+    let mut spec = plan.forward_real(field)?;
+    mul_assign(&mut spec, &kernel.spectrum);
+    plan.transform(&mut spec, Direction::Inverse)?;
+    Ok(spec)
+}
+
+/// Cyclically convolves a *complex* field spectrum-in-place workflow:
+/// `out = IFFT(FFT(field) ⊙ K)` where `K` is conjugated when
+/// `conjugate_kernel` is set (turning convolution into correlation).
+///
+/// # Errors
+///
+/// Returns [`FftError::SizeMismatch`] on any dimension disagreement.
+pub fn convolve_complex(
+    plan: &Fft2d,
+    field: &[Complex],
+    kernel: &KernelSpectrum,
+    conjugate_kernel: bool,
+) -> Result<Vec<Complex>, FftError> {
+    if field.len() != kernel.spectrum.len() || plan.len() != kernel.spectrum.len() {
+        return Err(FftError::SizeMismatch {
+            expected: kernel.spectrum.len(),
+            actual: field.len(),
+        });
+    }
+    let mut spec = field.to_vec();
+    plan.transform(&mut spec, Direction::Forward)?;
+    if conjugate_kernel {
+        mul_conj_assign(&mut spec, &kernel.spectrum);
+    } else {
+        mul_assign(&mut spec, &kernel.spectrum);
+    }
+    plan.transform(&mut spec, Direction::Inverse)?;
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct O(N²·K²) cyclic convolution reference.
+    fn naive_cyclic_convolve(
+        field: &[f32],
+        h: usize,
+        w: usize,
+        kernel: &[Complex],
+        ksize: usize,
+    ) -> Vec<Complex> {
+        let half = ksize as isize / 2;
+        let mut out = vec![Complex::ZERO; h * w];
+        for y in 0..h as isize {
+            for x in 0..w as isize {
+                let mut acc = Complex::ZERO;
+                for ky in 0..ksize as isize {
+                    for kx in 0..ksize as isize {
+                        let sy = (y - (ky - half)).rem_euclid(h as isize) as usize;
+                        let sx = (x - (kx - half)).rem_euclid(w as isize) as usize;
+                        let f = field[sy * w + sx];
+                        acc += kernel[(ky * ksize as isize + kx) as usize].scale(f);
+                    }
+                }
+                out[(y * w as isize + x) as usize] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn identity_kernel_is_noop() {
+        let (h, w) = (8, 8);
+        let kernel = {
+            let mut k = vec![Complex::ZERO; 9];
+            k[4] = Complex::ONE; // center tap of a 3x3 kernel
+            k
+        };
+        let spec = KernelSpectrum::new(&kernel, 3, h, w).unwrap();
+        let plan = Fft2d::new(h, w).unwrap();
+        let field: Vec<f32> = (0..64).map(|i| (i as f32 * 0.2).sin()).collect();
+        let out = convolve_real(&plan, &field, &spec).unwrap();
+        for (o, f) in out.iter().zip(&field) {
+            assert!((o.re - f).abs() < 1e-4 && o.im.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn fft_convolution_matches_naive() {
+        let (h, w) = (16, 8);
+        let ksize = 5;
+        let kernel: Vec<Complex> = (0..ksize * ksize)
+            .map(|i| Complex::new((i as f32 * 0.31).sin(), (i as f32 * 0.17).cos() * 0.2))
+            .collect();
+        let field: Vec<f32> = (0..h * w).map(|i| ((i * 5 % 11) as f32) / 11.0).collect();
+        let spec = KernelSpectrum::new(&kernel, ksize, h, w).unwrap();
+        let plan = Fft2d::new(h, w).unwrap();
+        let fast = convolve_real(&plan, &field, &spec).unwrap();
+        let slow = naive_cyclic_convolve(&field, h, w, &kernel, ksize);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a.re - b.re).abs() < 1e-3, "{a} vs {b}");
+            assert!((a.im - b.im).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn correlation_flips_kernel() {
+        // Correlation with kernel k == convolution with conj + spatial flip;
+        // verify on an asymmetric real kernel via an impulse response.
+        let (h, w) = (8, 8);
+        let mut kernel = vec![Complex::ZERO; 9];
+        kernel[0] = Complex::from_real(1.0); // top-left tap of a 3x3 kernel
+        let spec = KernelSpectrum::new(&kernel, 3, h, w).unwrap();
+        let plan = Fft2d::new(h, w).unwrap();
+        let mut field = vec![Complex::ZERO; h * w];
+        field[3 * w + 3] = Complex::ONE;
+
+        let conv = convolve_complex(&plan, &field, &spec, false).unwrap();
+        let corr = convolve_complex(&plan, &field, &spec, true).unwrap();
+        // Convolution shifts the impulse by (-1,-1); correlation by (+1,+1).
+        let peak_at = |v: &[Complex]| {
+            let (idx, _) = v
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+                .unwrap();
+            (idx / w, idx % w)
+        };
+        assert_eq!(peak_at(&conv), (2, 2));
+        assert_eq!(peak_at(&corr), (4, 4));
+    }
+
+    #[test]
+    fn embed_rejects_even_kernel() {
+        let kernel = vec![Complex::ZERO; 16];
+        let result = std::panic::catch_unwind(|| embed_centered_kernel(&kernel, 4, 8, 8));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn embed_places_center_at_origin() {
+        let mut kernel = vec![Complex::ZERO; 9];
+        kernel[4] = Complex::from_real(7.0);
+        let frame = embed_centered_kernel(&kernel, 3, 8, 8);
+        assert_eq!(frame[0], Complex::from_real(7.0));
+        assert_eq!(frame.iter().filter(|c| c.abs() > 0.0).count(), 1);
+    }
+
+    #[test]
+    fn mul_conj_assign_conjugates_rhs() {
+        let mut a = vec![Complex::new(1.0, 1.0)];
+        let b = vec![Complex::new(0.0, 2.0)];
+        mul_conj_assign(&mut a, &b);
+        // (1+i) * conj(2i) = (1+i)(-2i) = -2i - 2i² = 2 - 2i
+        assert_eq!(a[0], Complex::new(2.0, -2.0));
+    }
+
+    #[test]
+    fn kernel_spectrum_energy_positive() {
+        let kernel = vec![Complex::from_real(0.5); 9];
+        let spec = KernelSpectrum::new(&kernel, 3, 16, 16).unwrap();
+        assert!(spec.energy() > 0.0);
+        assert_eq!(spec.height(), 16);
+        assert_eq!(spec.width(), 16);
+        assert_eq!(spec.as_slice().len(), 256);
+    }
+}

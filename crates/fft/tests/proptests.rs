@@ -1,0 +1,98 @@
+//! Property-based tests for the FFT substrate.
+
+use ganopc_fft::{spectrum, Complex, Direction, Fft1d, Fft2d};
+use proptest::prelude::*;
+
+fn complex_vec(len: usize) -> impl Strategy<Value = Vec<Complex>> {
+    prop::collection::vec((-8.0f32..8.0, -8.0f32..8.0), len)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// 1-D roundtrip is the identity.
+    #[test]
+    fn fft1d_roundtrip(data in complex_vec(64)) {
+        let plan = Fft1d::new(64).unwrap();
+        let mut buf = data.clone();
+        plan.transform(&mut buf, Direction::Forward).unwrap();
+        plan.transform(&mut buf, Direction::Inverse).unwrap();
+        for (a, b) in buf.iter().zip(&data) {
+            prop_assert!((a.re - b.re).abs() < 1e-2);
+            prop_assert!((a.im - b.im).abs() < 1e-2);
+        }
+    }
+
+    /// Linearity: FFT(αx + βy) == αFFT(x) + βFFT(y).
+    #[test]
+    fn fft1d_linearity(
+        x in complex_vec(32),
+        y in complex_vec(32),
+        alpha in -2.0f32..2.0,
+        beta in -2.0f32..2.0,
+    ) {
+        let plan = Fft1d::new(32).unwrap();
+        let mut fx = x.clone();
+        let mut fy = y.clone();
+        let mut fz: Vec<Complex> = x
+            .iter()
+            .zip(&y)
+            .map(|(&a, &b)| a.scale(alpha) + b.scale(beta))
+            .collect();
+        plan.transform(&mut fx, Direction::Forward).unwrap();
+        plan.transform(&mut fy, Direction::Forward).unwrap();
+        plan.transform(&mut fz, Direction::Forward).unwrap();
+        for i in 0..32 {
+            let expect = fx[i].scale(alpha) + fy[i].scale(beta);
+            prop_assert!((fz[i].re - expect.re).abs() < 0.05);
+            prop_assert!((fz[i].im - expect.im).abs() < 0.05);
+        }
+    }
+
+    /// Cyclic time shift multiplies the spectrum by a phase, preserving
+    /// magnitudes.
+    #[test]
+    fn fft1d_shift_preserves_magnitudes(data in complex_vec(32), shift in 0usize..32) {
+        let plan = Fft1d::new(32).unwrap();
+        let mut original = data.clone();
+        let mut shifted: Vec<Complex> = (0..32).map(|i| data[(i + shift) % 32]).collect();
+        plan.transform(&mut original, Direction::Forward).unwrap();
+        plan.transform(&mut shifted, Direction::Forward).unwrap();
+        for (a, b) in original.iter().zip(&shifted) {
+            prop_assert!((a.abs() - b.abs()).abs() < 1e-2 * a.abs().max(1.0));
+        }
+    }
+
+    /// 2-D convolution theorem: spatial cyclic convolution equals
+    /// pointwise spectral multiplication.
+    #[test]
+    fn convolution_commutes(field in prop::collection::vec(0.0f32..1.0, 64)) {
+        let mut kernel = vec![Complex::ZERO; 9];
+        kernel[1] = Complex::new(0.5, 0.0);
+        kernel[4] = Complex::new(1.0, 0.0);
+        kernel[7] = Complex::new(0.5, 0.0);
+        let ks = spectrum::KernelSpectrum::new(&kernel, 3, 8, 8).unwrap();
+        let plan = Fft2d::new(8, 8).unwrap();
+        let out = spectrum::convolve_real(&plan, &field, &ks).unwrap();
+        // Direct spatial check on a couple of positions.
+        for (y, x) in [(3usize, 3usize), (0, 0), (7, 5)] {
+            let up = field[((y + 7) % 8) * 8 + x];
+            let mid = field[y * 8 + x];
+            let down = field[((y + 1) % 8) * 8 + x];
+            let expect = 0.5 * up + mid + 0.5 * down;
+            let got = out[y * 8 + x].re;
+            prop_assert!((got - expect).abs() < 1e-3, "at ({y},{x}): {got} vs {expect}");
+        }
+    }
+
+    /// DC bin equals the sum of samples.
+    #[test]
+    fn dc_bin_is_sum(field in prop::collection::vec(-4.0f32..4.0, 64)) {
+        let plan = Fft2d::new(8, 8).unwrap();
+        let spec = plan.forward_real(&field).unwrap();
+        let sum: f32 = field.iter().sum();
+        prop_assert!((spec[0].re - sum).abs() < 1e-2 * sum.abs().max(1.0));
+        prop_assert!(spec[0].im.abs() < 1e-3);
+    }
+}

@@ -1,0 +1,219 @@
+//! The synthesized training library (paper Section 4).
+//!
+//! "We synthesize a training layout library with 4000 instances based on the
+//! design specifications from existing 32 nm M1 layout topologies" — target
+//! clips come from [`ganopc_geometry::synthesis::TrainingLibrary`]; their
+//! ground-truth masks `M*` are produced by the ILT engine, exactly as the
+//! paper obtains its references.
+
+use crate::GanOpcError;
+use ganopc_geometry::synthesis::TrainingLibrary;
+use ganopc_geometry::DesignRules;
+use ganopc_ilt::{IltConfig, IltEngine};
+use ganopc_litho::{Field, LithoModel, OpticalConfig};
+use ganopc_nn::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A target/reference-mask training set at network resolution.
+#[derive(Debug, Clone)]
+pub struct OpcDataset {
+    size: usize,
+    targets: Vec<Field>,
+    masks: Vec<Field>,
+}
+
+impl OpcDataset {
+    /// Builds a dataset of `count` instances at `size × size` network
+    /// resolution (each clip spans 2048 nm, matching the paper's frames).
+    ///
+    /// Reference masks are produced by running the ILT engine on each
+    /// target; `ilt_config` controls how hard that reference optimization
+    /// works (tests use [`IltConfig::fast`], experiments use
+    /// [`IltConfig::mosaic`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lithography/ILT failures; returns
+    /// [`GanOpcError::Config`] for a zero count.
+    pub fn synthesize(
+        size: usize,
+        count: usize,
+        ilt_config: IltConfig,
+        seed: u64,
+    ) -> Result<Self, GanOpcError> {
+        if count == 0 {
+            return Err(GanOpcError::Config("dataset count must be positive".into()));
+        }
+        let mut opt = OpticalConfig::default_32nm(2048.0 / size as f64);
+        // Keep dataset construction affordable: the reference quality is set
+        // by the ILT iteration budget, not the kernel count.
+        opt.num_kernels = opt.num_kernels.min(12);
+        let model = LithoModel::new_cached(opt, size, size)?;
+        let library = TrainingLibrary::generate(DesignRules::m1_32nm(), 2048, count, seed);
+        let mut engine = IltEngine::new(model, ilt_config);
+        let mut targets = Vec::with_capacity(count);
+        let mut masks = Vec::with_capacity(count);
+        for clip in &library {
+            let target = clip.rasterize_raster(size, size).binarize(0.5);
+            let reference = engine.optimize(&target)?;
+            targets.push(target);
+            masks.push(reference.mask_relaxed);
+        }
+        Ok(OpcDataset { size, targets, masks })
+    }
+
+    /// Wraps externally produced pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GanOpcError::Config`] when lists are empty, lengths differ,
+    /// or shapes disagree with `size`.
+    pub fn from_pairs(
+        size: usize,
+        targets: Vec<Field>,
+        masks: Vec<Field>,
+    ) -> Result<Self, GanOpcError> {
+        if targets.is_empty() || targets.len() != masks.len() {
+            return Err(GanOpcError::Config(format!(
+                "need equal nonzero counts, got {} targets / {} masks",
+                targets.len(),
+                masks.len()
+            )));
+        }
+        for f in targets.iter().chain(&masks) {
+            if f.shape() != (size, size) {
+                return Err(GanOpcError::Config(format!(
+                    "field shape {:?} does not match dataset size {size}",
+                    f.shape()
+                )));
+            }
+        }
+        Ok(OpcDataset { size, targets, masks })
+    }
+
+    /// Network resolution.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of instances.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Returns `true` when the dataset has no instances (never for valid
+    /// datasets).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// The target clips.
+    #[inline]
+    pub fn targets(&self) -> &[Field] {
+        &self.targets
+    }
+
+    /// The reference masks.
+    #[inline]
+    pub fn masks(&self) -> &[Field] {
+        &self.masks
+    }
+
+    /// Assembles instances `indices` into `[B, 1, size, size]` tensors
+    /// `(targets, masks)` — one mini-batch (Algorithm 1 line 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices or an empty index list.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Tensor) {
+        assert!(!indices.is_empty(), "empty mini-batch");
+        let plane = self.size * self.size;
+        let mut t = Vec::with_capacity(indices.len() * plane);
+        let mut m = Vec::with_capacity(indices.len() * plane);
+        for &i in indices {
+            t.extend_from_slice(self.targets[i].as_slice());
+            m.extend_from_slice(self.masks[i].as_slice());
+        }
+        let shape = [indices.len(), 1, self.size, self.size];
+        (Tensor::from_vec(&shape, t), Tensor::from_vec(&shape, m))
+    }
+
+    /// Deterministically shuffled index order for one epoch.
+    pub fn epoch_order(&self, seed: u64) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(seed));
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> OpcDataset {
+        OpcDataset::synthesize(32, 3, IltConfig::fast(), 11).unwrap()
+    }
+
+    #[test]
+    fn synthesize_produces_pairs() {
+        let ds = tiny();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.size(), 32);
+        for (t, m) in ds.targets().iter().zip(ds.masks()) {
+            assert_eq!(t.shape(), (32, 32));
+            assert_eq!(m.shape(), (32, 32));
+            // Targets are binary, masks are relaxed.
+            assert!(t.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+            assert!(m.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = OpcDataset::synthesize(32, 2, IltConfig::fast(), 5).unwrap();
+        let b = OpcDataset::synthesize(32, 2, IltConfig::fast(), 5).unwrap();
+        assert_eq!(a.targets(), b.targets());
+        assert_eq!(a.masks(), b.masks());
+    }
+
+    #[test]
+    fn batch_assembly() {
+        let ds = tiny();
+        let (t, m) = ds.batch(&[0, 2]);
+        assert_eq!(t.shape(), &[2, 1, 32, 32]);
+        assert_eq!(m.shape(), &[2, 1, 32, 32]);
+        assert_eq!(&t.as_slice()[..1024], ds.targets()[0].as_slice());
+        assert_eq!(&m.as_slice()[1024..], ds.masks()[2].as_slice());
+    }
+
+    #[test]
+    fn epoch_order_is_a_permutation() {
+        let ds = tiny();
+        let order = ds.epoch_order(1);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+        assert_eq!(order, ds.epoch_order(1));
+    }
+
+    #[test]
+    fn from_pairs_validates() {
+        let f = Field::zeros(16, 16);
+        assert!(OpcDataset::from_pairs(16, vec![f.clone()], vec![f.clone()]).is_ok());
+        assert!(OpcDataset::from_pairs(16, vec![f.clone()], vec![]).is_err());
+        assert!(OpcDataset::from_pairs(32, vec![f.clone()], vec![f]).is_err());
+    }
+
+    #[test]
+    fn zero_count_rejected() {
+        assert!(matches!(
+            OpcDataset::synthesize(32, 0, IltConfig::fast(), 1),
+            Err(GanOpcError::Config(_))
+        ));
+    }
+}

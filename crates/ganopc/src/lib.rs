@@ -1,0 +1,161 @@
+//! GAN-OPC: lithography-guided generative adversarial mask optimization.
+//!
+//! This is the core crate of the reproduction — the paper's contribution
+//! (Sections 3.1–3.4), built on the workspace substrates:
+//!
+//! * [`Generator`] — the encoder–decoder (auto-encoder style) network of
+//!   Fig. 4 mapping a target clip to a quasi-optimal mask;
+//! * [`Discriminator`] — the pair classifier of Section 3.2: it judges
+//!   *(target, mask)* pairs, not masks alone, which is what makes the GAN
+//!   learn a one-one target→mask mapping;
+//! * [`GanTrainer`] — Algorithm 1: alternating minimization of the
+//!   generator objective `−log D(Z_t, G(Z_t)) + α‖M* − G(Z_t)‖²` and the
+//!   discriminator objective (Eq. (7)–(10));
+//! * [`pretrain`] — Algorithm 2: ILT-guided pre-training, back-propagating
+//!   the lithography error gradient (Eq. (14)) straight into the generator;
+//! * [`dataset`] — the synthesized training library of Section 4: target
+//!   clips from [`ganopc_geometry::synthesis`] with reference masks produced
+//!   by the [`ganopc_ilt`] engine;
+//! * [`GanOpcFlow`] — the inference flow of Fig. 6: generator forward pass,
+//!   bilinear upscale, then a short ILT refinement.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use ganopc_core::{FlowConfig, GanOpcFlow};
+//! use ganopc_litho::Field;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut flow = GanOpcFlow::new(FlowConfig::fast())?;
+//! let target = Field::zeros(64, 64); // a real target clip in practice
+//! let result = flow.optimize(&target)?;
+//! println!("L2 = {} nm², runtime = {:.2}s", result.l2_nm2, result.total_runtime_s);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dataset;
+mod discriminator;
+mod flow;
+mod generator;
+pub mod pretrain;
+pub mod train;
+pub mod validate;
+
+pub use dataset::OpcDataset;
+pub use discriminator::Discriminator;
+pub use flow::{FlowConfig, FlowResult, GanOpcFlow};
+pub use generator::Generator;
+pub use pretrain::PretrainConfig;
+pub use train::{GanTrainer, StepStats, TrainConfig};
+pub use validate::{evaluate_generator, split_dataset, ValidationReport};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from GAN-OPC training and inference.
+#[derive(Debug)]
+pub enum GanOpcError {
+    /// Propagated lithography failure.
+    Litho(ganopc_litho::LithoError),
+    /// Propagated ILT failure.
+    Ilt(ganopc_ilt::IltError),
+    /// Propagated network failure.
+    Nn(ganopc_nn::NnError),
+    /// Checkpoint (de)serialization failure.
+    Checkpoint(ganopc_nn::checkpoint::CheckpointError),
+    /// Inconsistent configuration (sizes, pool factors, empty dataset...).
+    Config(String),
+}
+
+impl fmt::Display for GanOpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GanOpcError::Litho(e) => write!(f, "lithography failure: {e}"),
+            GanOpcError::Ilt(e) => write!(f, "ilt failure: {e}"),
+            GanOpcError::Nn(e) => write!(f, "network failure: {e}"),
+            GanOpcError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            GanOpcError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for GanOpcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GanOpcError::Litho(e) => Some(e),
+            GanOpcError::Ilt(e) => Some(e),
+            GanOpcError::Nn(e) => Some(e),
+            GanOpcError::Checkpoint(e) => Some(e),
+            GanOpcError::Config(_) => None,
+        }
+    }
+}
+
+impl From<ganopc_litho::LithoError> for GanOpcError {
+    fn from(e: ganopc_litho::LithoError) -> Self {
+        GanOpcError::Litho(e)
+    }
+}
+
+impl From<ganopc_ilt::IltError> for GanOpcError {
+    fn from(e: ganopc_ilt::IltError) -> Self {
+        GanOpcError::Ilt(e)
+    }
+}
+
+impl From<ganopc_nn::NnError> for GanOpcError {
+    fn from(e: ganopc_nn::NnError) -> Self {
+        GanOpcError::Nn(e)
+    }
+}
+
+impl From<ganopc_nn::checkpoint::CheckpointError> for GanOpcError {
+    fn from(e: ganopc_nn::checkpoint::CheckpointError) -> Self {
+        GanOpcError::Checkpoint(e)
+    }
+}
+
+/// Converts a litho [`ganopc_litho::Field`] into a `[1, 1, H, W]` network
+/// tensor.
+pub fn field_to_tensor(field: &ganopc_litho::Field) -> ganopc_nn::Tensor {
+    let (h, w) = field.shape();
+    ganopc_nn::Tensor::from_vec(&[1, 1, h, w], field.as_slice().to_vec())
+}
+
+/// Converts batch item `n`, channel 0 of an `[N, 1, H, W]` tensor back into
+/// a litho field.
+///
+/// # Panics
+///
+/// Panics if the tensor is not `[N, 1, H, W]` or `n` is out of range.
+pub fn tensor_to_field(tensor: &ganopc_nn::Tensor, n: usize) -> ganopc_litho::Field {
+    let (nn, c, h, w) = tensor.dims4();
+    assert_eq!(c, 1, "expected a single-channel tensor");
+    assert!(n < nn, "batch index {n} out of range {nn}");
+    let plane = h * w;
+    ganopc_litho::Field::from_vec(h, w, tensor.as_slice()[n * plane..(n + 1) * plane].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ganopc_litho::Field;
+
+    #[test]
+    fn field_tensor_roundtrip() {
+        let mut f = Field::zeros(4, 4);
+        f.set(1, 2, 0.7);
+        let t = field_to_tensor(&f);
+        assert_eq!(t.shape(), &[1, 1, 4, 4]);
+        let back = tensor_to_field(&t, 0);
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-channel")]
+    fn tensor_to_field_rejects_multichannel() {
+        let t = ganopc_nn::Tensor::zeros(&[1, 2, 4, 4]);
+        let _ = tensor_to_field(&t, 0);
+    }
+}

@@ -1,0 +1,437 @@
+//! Algorithm 1 — GAN-OPC adversarial training.
+//!
+//! Per mini-batch (paper Algorithm 1):
+//!
+//! ```text
+//! M  ← G(Z_t; W_g)
+//! l_g ← −log D(Z_t, M) + α‖M* − M‖²          (line 7)
+//! l_d ← log D(Z_t, M) − log D(Z_t, M*)        (line 8, minimized)
+//! ΔW_g ← ∂l_g/∂W_g ;  ΔW_d ← ∂l_d/∂W_d       (line 9)
+//! W ← W − (λ/m)·ΔW                            (line 11)
+//! ```
+//!
+//! `l_d` is minimized as the standard binary cross-entropy pair
+//! `BCE(D(Z_t, M*), 1) + BCE(D(Z_t, M), 0)` (identical stationary points,
+//! better-conditioned gradients); the generator term `−log D(Z_t, M)` is
+//! `BCE(D(Z_t, M), 1)` exactly as in Eq. (7).
+
+use crate::{Discriminator, Generator, OpcDataset};
+use ganopc_nn::loss::{bce_scalar_label, sum_squared_error};
+use ganopc_nn::optim::Sgd;
+use ganopc_nn::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Total training steps (mini-batches).
+    pub iterations: usize,
+    /// Mini-batch size `m`.
+    pub batch_size: usize,
+    /// Generator learning rate λ_g.
+    pub lr_generator: f32,
+    /// Discriminator learning rate λ_d.
+    pub lr_discriminator: f32,
+    /// SGD momentum for both networks.
+    pub momentum: f32,
+    /// Weight α of the `‖M* − M‖²` term in the generator loss (line 7).
+    /// Applied per pixel (the squared error is averaged over the batch and
+    /// scaled by α).
+    pub alpha: f32,
+    /// Shuffling/initialization seed.
+    pub seed: u64,
+    /// Optional global gradient-norm clip applied to both networks before
+    /// each optimizer step (GAN stabilization; `None` disables).
+    pub clip_grad_norm: Option<f32>,
+}
+
+impl TrainConfig {
+    /// A configuration sized for the scaled reproduction experiments.
+    pub fn paper_scaled() -> Self {
+        TrainConfig {
+            iterations: 400,
+            batch_size: 4,
+            lr_generator: 0.02,
+            lr_discriminator: 0.01,
+            momentum: 0.5,
+            alpha: 1.0,
+            seed: 2018,
+            clip_grad_norm: Some(10.0),
+        }
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn fast() -> Self {
+        TrainConfig {
+            iterations: 6,
+            batch_size: 2,
+            lr_generator: 0.02,
+            lr_discriminator: 0.01,
+            momentum: 0.0,
+            alpha: 1.0,
+            seed: 7,
+            clip_grad_norm: Some(10.0),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.iterations == 0 {
+            return Err("iterations must be positive".into());
+        }
+        if self.batch_size == 0 {
+            return Err("batch size must be positive".into());
+        }
+        if self.lr_generator <= 0.0 || self.lr_discriminator <= 0.0 {
+            return Err("learning rates must be positive".into());
+        }
+        if self.alpha < 0.0 {
+            return Err("alpha must be nonnegative".into());
+        }
+        if let Some(c) = self.clip_grad_norm {
+            if !(c > 0.0) {
+                return Err("clip_grad_norm must be positive".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig::paper_scaled()
+    }
+}
+
+/// Per-step training statistics (the Fig. 7 curves are built from
+/// `l2_loss`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepStats {
+    /// Training step index.
+    pub step: usize,
+    /// Generator adversarial loss `−log D(Z_t, M)`.
+    pub adversarial_loss: f64,
+    /// Mean per-pixel squared error between `M` and `M*` — the y-axis of
+    /// Fig. 7.
+    pub l2_loss: f64,
+    /// Discriminator loss.
+    pub discriminator_loss: f64,
+    /// Mean probability the discriminator assigns to real pairs.
+    pub d_real: f64,
+    /// Mean probability the discriminator assigns to generated pairs.
+    pub d_fake: f64,
+}
+
+/// The Algorithm 1 trainer: owns both networks and their optimizers.
+pub struct GanTrainer {
+    generator: Generator,
+    discriminator: Discriminator,
+    opt_g: Sgd,
+    opt_d: Sgd,
+    config: TrainConfig,
+    step: usize,
+}
+
+impl GanTrainer {
+    /// Creates a trainer from freshly initialized networks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`TrainConfig::validate`] or the networks
+    /// disagree on spatial size.
+    pub fn new(generator: Generator, discriminator: Discriminator, config: TrainConfig) -> Self {
+        config.validate().expect("invalid training configuration");
+        assert_eq!(
+            generator.size(),
+            discriminator.size(),
+            "generator and discriminator must share the clip size"
+        );
+        let opt_g = Sgd::new(config.lr_generator, config.momentum);
+        let opt_d = Sgd::new(config.lr_discriminator, config.momentum);
+        GanTrainer { generator, discriminator, opt_g, opt_d, config, step: 0 }
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Borrow of the generator (e.g. to export weights mid-training).
+    pub fn generator_mut(&mut self) -> &mut Generator {
+        &mut self.generator
+    }
+
+    /// Borrow of the discriminator.
+    pub fn discriminator_mut(&mut self) -> &mut Discriminator {
+        &mut self.discriminator
+    }
+
+    /// Consumes the trainer, returning the trained networks.
+    pub fn into_networks(self) -> (Generator, Discriminator) {
+        (self.generator, self.discriminator)
+    }
+
+    /// Runs one Algorithm 1 step on a mini-batch of `(Z_t, M*)`.
+    pub fn train_step(&mut self, targets: &Tensor, ref_masks: &Tensor) -> StepStats {
+        self.step += 1;
+        let batch = targets.shape()[0] as f32;
+
+        // ---- Generator update: l_g = −log D(Z_t, M) + α‖M* − M‖² ----
+        let masks = self.generator.forward(targets, true);
+        let p_fake_for_g = self.discriminator.forward_pair(targets, &masks, true);
+        let (adv_loss, grad_p) = bce_scalar_label(&p_fake_for_g, 1.0);
+        // Route the adversarial gradient through D into the mask channel.
+        self.discriminator.zero_grads();
+        let (_, grad_mask_adv) = self.discriminator.backward_pair(&grad_p);
+        // L2 pull toward the reference mask (Eq. (9)); normalize per batch
+        // and pixel so α is resolution independent.
+        let (sse, grad_mask_l2) = sum_squared_error(&masks, ref_masks);
+        let pixels = (masks.len() as f32).max(1.0);
+        let l2_loss = sse / pixels as f64;
+        let mut grad_masks = grad_mask_adv;
+        grad_masks.add_scaled_assign(&grad_mask_l2, self.config.alpha / pixels);
+        self.generator.zero_grads();
+        self.generator.backward(&grad_masks.scale(1.0 / batch));
+        if let Some(clip) = self.config.clip_grad_norm {
+            self.generator.net_mut().clip_gradients(clip);
+        }
+        self.opt_g.step(self.generator.net_mut());
+        // The generator pass polluted D's gradients; clear before D's turn.
+        self.discriminator.zero_grads();
+
+        // ---- Discriminator update: BCE(real,1) + BCE(fake,0) ----
+        let p_real = self.discriminator.forward_pair(targets, ref_masks, true);
+        let (loss_real, grad_real) = bce_scalar_label(&p_real, 1.0);
+        self.discriminator.backward_pair(&grad_real.scale(1.0 / batch));
+        // Detach the generator: re-use `masks` as data (no G backward).
+        let p_fake = self.discriminator.forward_pair(targets, &masks, true);
+        let (loss_fake, grad_fake) = bce_scalar_label(&p_fake, 0.0);
+        self.discriminator.backward_pair(&grad_fake.scale(1.0 / batch));
+        if let Some(clip) = self.config.clip_grad_norm {
+            self.discriminator.net_mut().clip_gradients(clip);
+        }
+        self.opt_d.step(self.discriminator.net_mut());
+        self.discriminator.zero_grads();
+
+        StepStats {
+            step: self.step,
+            adversarial_loss: adv_loss,
+            l2_loss,
+            discriminator_loss: loss_real + loss_fake,
+            d_real: p_real.as_slice().iter().map(|&v| v as f64).sum::<f64>()
+                / p_real.len() as f64,
+            d_fake: p_fake.as_slice().iter().map(|&v| v as f64).sum::<f64>()
+                / p_fake.len() as f64,
+        }
+    }
+
+    /// Trains with periodic hold-out validation, keeping the generator
+    /// weights from the best validation checkpoint (early-stopping style).
+    ///
+    /// Every `check_every` steps the generator is scored on `validation`
+    /// with [`crate::validate::evaluate_generator`]; after the full budget
+    /// the weights of the best checkpoint are restored. Returns the
+    /// per-step statistics and the best validation report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures (resolution mismatches).
+    pub fn train_with_validation(
+        &mut self,
+        dataset: &OpcDataset,
+        validation: &OpcDataset,
+        model: &ganopc_litho::LithoModel,
+        check_every: usize,
+    ) -> Result<(Vec<StepStats>, crate::validate::ValidationReport), crate::GanOpcError> {
+        let check_every = check_every.max(1);
+        let mut stats = Vec::with_capacity(self.config.iterations);
+        let mut best: Option<(crate::validate::ValidationReport, Vec<Tensor>)> = None;
+        let mut order = dataset.epoch_order(self.config.seed);
+        let mut cursor = 0usize;
+        let mut epoch = 0u64;
+        for step in 0..self.config.iterations {
+            let mut indices = Vec::with_capacity(self.config.batch_size);
+            while indices.len() < self.config.batch_size {
+                if cursor == order.len() {
+                    epoch += 1;
+                    order = dataset.epoch_order(self.config.seed.wrapping_add(epoch));
+                    cursor = 0;
+                }
+                indices.push(order[cursor]);
+                cursor += 1;
+            }
+            let (targets, masks) = dataset.batch(&indices);
+            stats.push(self.train_step(&targets, &masks));
+            if (step + 1) % check_every == 0 || step + 1 == self.config.iterations {
+                let report = crate::validate::evaluate_generator(
+                    &mut self.generator,
+                    model,
+                    validation,
+                )?;
+                let better = best
+                    .as_ref()
+                    .map(|(b, _)| report.litho_error < b.litho_error)
+                    .unwrap_or(true);
+                if better {
+                    best = Some((report, self.generator.export_params()));
+                }
+            }
+        }
+        let (report, snapshot) = best.expect("at least one validation checkpoint");
+        self.generator.import_params(&snapshot)?;
+        Ok((stats, report))
+    }
+
+    /// Trains for `config.iterations` steps over the dataset, returning the
+    /// per-step statistics (the Fig. 7 curve).
+    pub fn train(&mut self, dataset: &OpcDataset) -> Vec<StepStats> {
+        let mut stats = Vec::with_capacity(self.config.iterations);
+        let mut order = dataset.epoch_order(self.config.seed);
+        let mut cursor = 0usize;
+        let mut epoch = 0u64;
+        for _ in 0..self.config.iterations {
+            // Draw the next mini-batch, reshuffling at epoch boundaries.
+            let mut indices = Vec::with_capacity(self.config.batch_size);
+            while indices.len() < self.config.batch_size {
+                if cursor == order.len() {
+                    epoch += 1;
+                    order = dataset.epoch_order(self.config.seed.wrapping_add(epoch));
+                    cursor = 0;
+                }
+                indices.push(order[cursor]);
+                cursor += 1;
+            }
+            let (targets, masks) = dataset.batch(&indices);
+            stats.push(self.train_step(&targets, &masks));
+        }
+        stats
+    }
+}
+
+impl std::fmt::Debug for GanTrainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GanTrainer")
+            .field("step", &self.step)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ganopc_ilt::IltConfig;
+
+    fn tiny_setup() -> (GanTrainer, OpcDataset) {
+        let ds = OpcDataset::synthesize(32, 3, IltConfig::fast(), 3).unwrap();
+        let g = Generator::new(32, 4, 1);
+        let d = Discriminator::new(32, 4, 2);
+        (GanTrainer::new(g, d, TrainConfig::fast()), ds)
+    }
+
+    #[test]
+    fn training_runs_and_reports_stats() {
+        let (mut trainer, ds) = tiny_setup();
+        let stats = trainer.train(&ds);
+        assert_eq!(stats.len(), TrainConfig::fast().iterations);
+        for s in &stats {
+            assert!(s.l2_loss.is_finite() && s.l2_loss >= 0.0);
+            assert!(s.adversarial_loss.is_finite());
+            assert!(s.discriminator_loss.is_finite());
+            assert!((0.0..=1.0).contains(&s.d_real));
+            assert!((0.0..=1.0).contains(&s.d_fake));
+        }
+        assert_eq!(stats.last().unwrap().step, stats.len());
+    }
+
+    #[test]
+    fn l2_term_pulls_masks_toward_references() {
+        // With a strong α and several steps, the generator's output should
+        // move measurably toward the reference masks.
+        let ds = OpcDataset::synthesize(32, 2, IltConfig::fast(), 9).unwrap();
+        let g = Generator::new(32, 4, 5);
+        let d = Discriminator::new(32, 4, 6);
+        let mut cfg = TrainConfig::fast();
+        cfg.iterations = 30;
+        cfg.alpha = 4.0;
+        let mut trainer = GanTrainer::new(g, d, cfg);
+        let stats = trainer.train(&ds);
+        let early: f64 = stats[..5].iter().map(|s| s.l2_loss).sum::<f64>() / 5.0;
+        let late: f64 = stats[stats.len() - 5..].iter().map(|s| s.l2_loss).sum::<f64>() / 5.0;
+        assert!(late < early, "L2 did not improve: {early} -> {late}");
+    }
+
+    #[test]
+    fn discriminator_learns_to_separate() {
+        let (mut trainer, ds) = tiny_setup();
+        let mut cfg = TrainConfig::fast();
+        cfg.iterations = 25;
+        trainer.config = cfg.clone();
+        let stats = trainer.train(&ds);
+        let last = stats.last().unwrap();
+        // After some steps, D should rank real pairs above generated ones.
+        assert!(
+            last.d_real >= last.d_fake - 0.05,
+            "d_real {} << d_fake {}",
+            last.d_real,
+            last.d_fake
+        );
+    }
+
+    #[test]
+    fn train_step_accepts_explicit_batches() {
+        let (mut trainer, ds) = tiny_setup();
+        let (t, m) = ds.batch(&[0, 1]);
+        let s1 = trainer.train_step(&t, &m);
+        let s2 = trainer.train_step(&t, &m);
+        assert_eq!(s1.step, 1);
+        assert_eq!(s2.step, 2);
+    }
+
+    #[test]
+    fn train_with_validation_restores_best_checkpoint() {
+        use ganopc_litho::OpticalConfig;
+        let ds = OpcDataset::synthesize(32, 4, ganopc_ilt::IltConfig::fast(), 55).unwrap();
+        let (train, val) = crate::validate::split_dataset(&ds, 0.25, 3).unwrap();
+        let mut opt = OpticalConfig::default_32nm(64.0);
+        opt.pupil_grid = 11;
+        opt.num_kernels = 6;
+        let model = ganopc_litho::LithoModel::new(opt, 32, 32).unwrap();
+        let mut cfg = TrainConfig::fast();
+        cfg.iterations = 8;
+        let mut trainer =
+            GanTrainer::new(Generator::new(32, 4, 1), Discriminator::new(32, 4, 2), cfg);
+        let (stats, best) = trainer
+            .train_with_validation(&train, &val, &model, 2)
+            .unwrap();
+        assert_eq!(stats.len(), 8);
+        // The restored generator reproduces the reported best score.
+        let report = crate::validate::evaluate_generator(
+            trainer.generator_mut(),
+            &model,
+            &val,
+        )
+        .unwrap();
+        assert!((report.litho_error - best.litho_error).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "share the clip size")]
+    fn size_mismatch_rejected() {
+        let g = Generator::new(32, 4, 0);
+        let d = Discriminator::new(16, 4, 0);
+        let _ = GanTrainer::new(g, d, TrainConfig::fast());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(TrainConfig::paper_scaled().validate().is_ok());
+        let mut bad = TrainConfig::fast();
+        bad.batch_size = 0;
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! Image export for figure galleries (PGM, portable graymap).
+//!
+//! The Figure 8/9 reproductions dump masks and wafer images as binary PGM
+//! files — viewable everywhere, writable without an image dependency.
+
+use crate::raster::Raster;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Encodes a raster as a binary (P5) PGM image.
+///
+/// Samples are clamped to `[0, 1]` and quantized to 8 bits.
+///
+/// ```
+/// use ganopc_geometry::{io::pgm_bytes, raster::Raster};
+/// let r = Raster::filled(2, 3, 1.0);
+/// let bytes = pgm_bytes(&r);
+/// assert!(bytes.starts_with(b"P5\n3 2\n255\n"));
+/// assert_eq!(bytes.len(), "P5\n3 2\n255\n".len() + 6);
+/// ```
+pub fn pgm_bytes(raster: &Raster) -> Vec<u8> {
+    let header = format!("P5\n{} {}\n255\n", raster.width(), raster.height());
+    let mut bytes = header.into_bytes();
+    bytes.extend(
+        raster
+            .as_slice()
+            .iter()
+            .map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as u8),
+    );
+    bytes
+}
+
+/// Writes a raster to `path` as binary PGM.
+///
+/// # Errors
+///
+/// Propagates any I/O error from creating or writing the file.
+pub fn write_pgm<P: AsRef<Path>>(path: P, raster: &Raster) -> io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(&pgm_bytes(raster))
+}
+
+/// Horizontally concatenates rasters (all must share a height) with a
+/// 1-pixel 0.5-gray separator — used to compose figure strips.
+///
+/// # Panics
+///
+/// Panics if `tiles` is empty or heights differ.
+pub fn hstack(tiles: &[&Raster]) -> Raster {
+    assert!(!tiles.is_empty(), "hstack of zero tiles");
+    let h = tiles[0].height();
+    assert!(tiles.iter().all(|t| t.height() == h), "hstack height mismatch");
+    let total_w: usize = tiles.iter().map(|t| t.width()).sum::<usize>() + tiles.len() - 1;
+    let mut out = Raster::filled(h, total_w, 0.5);
+    let mut x0 = 0usize;
+    for t in tiles {
+        for y in 0..h {
+            for x in 0..t.width() {
+                out.set(y, x0 + x, t.get(y, x));
+            }
+        }
+        x0 += t.width() + 1;
+    }
+    out
+}
+
+/// Vertically concatenates rasters (all must share a width) with a 1-pixel
+/// separator row.
+///
+/// # Panics
+///
+/// Panics if `tiles` is empty or widths differ.
+pub fn vstack(tiles: &[&Raster]) -> Raster {
+    assert!(!tiles.is_empty(), "vstack of zero tiles");
+    let w = tiles[0].width();
+    assert!(tiles.iter().all(|t| t.width() == w), "vstack width mismatch");
+    let total_h: usize = tiles.iter().map(|t| t.height()).sum::<usize>() + tiles.len() - 1;
+    let mut out = Raster::filled(total_h, w, 0.5);
+    let mut y0 = 0usize;
+    for t in tiles {
+        for y in 0..t.height() {
+            for x in 0..w {
+                out.set(y0 + y, x, t.get(y, x));
+            }
+        }
+        y0 += t.height() + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pgm_header_and_payload() {
+        let mut r = Raster::zeros(2, 2);
+        r.set(0, 0, 1.0);
+        r.set(1, 1, 0.5);
+        let bytes = pgm_bytes(&r);
+        let header = b"P5\n2 2\n255\n";
+        assert!(bytes.starts_with(header));
+        let pixels = &bytes[header.len()..];
+        assert_eq!(pixels, &[255, 0, 0, 128]);
+    }
+
+    #[test]
+    fn pgm_clamps_out_of_range() {
+        let r = Raster::from_vec(1, 2, vec![-0.5, 2.0]);
+        let bytes = pgm_bytes(&r);
+        let pixels = &bytes[b"P5\n2 1\n255\n".len()..];
+        assert_eq!(pixels, &[0, 255]);
+    }
+
+    #[test]
+    fn write_and_read_back() {
+        let dir = std::env::temp_dir().join("ganopc-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pgm");
+        let r = Raster::filled(4, 4, 0.25);
+        write_pgm(&path, &r).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes, pgm_bytes(&r));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn hstack_layout() {
+        let a = Raster::filled(2, 2, 1.0);
+        let b = Raster::filled(2, 3, 0.0);
+        let s = hstack(&[&a, &b]);
+        assert_eq!(s.shape(), (2, 6));
+        assert_eq!(s.get(0, 0), 1.0);
+        assert_eq!(s.get(0, 2), 0.5); // separator
+        assert_eq!(s.get(0, 3), 0.0);
+    }
+
+    #[test]
+    fn vstack_layout() {
+        let a = Raster::filled(1, 2, 1.0);
+        let b = Raster::filled(2, 2, 0.0);
+        let s = vstack(&[&a, &b]);
+        assert_eq!(s.shape(), (4, 2));
+        assert_eq!(s.get(0, 0), 1.0);
+        assert_eq!(s.get(1, 0), 0.5);
+        assert_eq!(s.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn stacks_reject_mismatched_tiles() {
+        let a = Raster::zeros(2, 2);
+        let b = Raster::zeros(3, 2);
+        assert!(std::panic::catch_unwind(|| hstack(&[&a, &b])).is_err());
+        let c = Raster::zeros(2, 3);
+        assert!(std::panic::catch_unwind(|| vstack(&[&a, &c])).is_err());
+    }
+}

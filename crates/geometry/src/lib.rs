@@ -1,0 +1,47 @@
+//! Rectilinear layout substrate for the GAN-OPC reproduction.
+//!
+//! The DAC-2018 GAN-OPC paper evaluates on ten industrial 32 nm M1 clips from
+//! the ICCAD-2013 mask-optimization contest and trains on 4000 synthesized
+//! clips generated under simple design rules (paper Table 1). Neither dataset
+//! is redistributable, so this crate rebuilds the whole geometry layer:
+//!
+//! * [`Rect`] / [`Layout`] — integer-nanometer rectilinear geometry;
+//! * [`DesignRules`] — the Table 1 rule set ([`DesignRules::m1_32nm`]);
+//! * [`drc`] — a design-rule checker used to validate synthesized clips;
+//! * [`raster`] — rasterization to `f32` bitmaps, average pooling and
+//!   nearest/linear upsampling (the paper's 8×8 pooling pipeline);
+//! * [`synthesis`] — seeded random clip synthesis ([`ClipSynthesizer`]) and
+//!   the 4000-instance [`synthesis::TrainingLibrary`], plus the ten
+//!   benchmark-like clips with Table 2 pattern areas;
+//! * [`io`] — PGM image dumps for figure galleries.
+//!
+//! # Example
+//!
+//! ```
+//! use ganopc_geometry::{ClipSynthesizer, DesignRules};
+//!
+//! let rules = DesignRules::m1_32nm();
+//! let synth = ClipSynthesizer::new(rules, 2048, 10);
+//! let clip = synth.synthesize(42);
+//! assert!(!clip.shapes().is_empty());
+//! // Rasterize at 1 px = 16 nm => 128×128 image.
+//! let raster = clip.rasterize(128, 128);
+//! assert_eq!(raster.len(), 128 * 128);
+//! ```
+
+pub mod layout;
+mod rect;
+mod rules;
+
+pub mod drc;
+pub mod io;
+pub mod polygon;
+pub mod raster;
+pub mod synthesis;
+pub mod textfmt;
+
+pub use layout::Layout;
+pub use polygon::Polygon;
+pub use rect::Rect;
+pub use rules::DesignRules;
+pub use synthesis::ClipSynthesizer;

@@ -1,0 +1,416 @@
+//! Design-rule-driven random clip synthesis.
+//!
+//! The paper (Section 4) synthesizes a 4000-instance training library from
+//! 32 nm M1 design specifications: "all the shapes are randomly placed
+//! together based on simple design rules, as detailed in Table 1". This
+//! module reproduces that generator and additionally regenerates ten
+//! *benchmark-like* clips whose pattern areas match the "Area" column of
+//! Table 2 (the ICCAD-2013 clips themselves are not redistributable — see
+//! DESIGN.md §3).
+//!
+//! Synthesis is greedy rejection sampling: candidate patterns (wires, L-, T-
+//! and U-shapes) are drawn at random and accepted only when they keep the
+//! whole clip DRC-clean, so every emitted layout satisfies
+//! [`crate::drc::is_clean`] by construction.
+
+use crate::drc::{classify_gap, GapKind};
+use crate::{DesignRules, Layout, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded random generator of DRC-clean M1-like clips.
+///
+/// ```
+/// use ganopc_geometry::{ClipSynthesizer, DesignRules, drc};
+/// let rules = DesignRules::m1_32nm();
+/// let synth = ClipSynthesizer::new(rules, 2048, 12);
+/// let clip = synth.synthesize(1);
+/// assert!(drc::is_clean(&clip, &rules));
+/// // Deterministic in the seed:
+/// assert_eq!(clip, synth.synthesize(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClipSynthesizer {
+    rules: DesignRules,
+    frame_nm: i64,
+    /// Number of *pattern groups* (a group is a wire or a multi-rect shape).
+    target_groups: usize,
+    /// Keep-out margin between patterns and the frame boundary, nm.
+    margin_nm: i64,
+    /// Maximum rejection-sampling attempts per group.
+    max_attempts: usize,
+}
+
+impl ClipSynthesizer {
+    /// Creates a synthesizer for square clips of side `frame_nm` targeting
+    /// `target_groups` placed pattern groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is too small to hold even one minimum shape.
+    pub fn new(rules: DesignRules, frame_nm: i64, target_groups: usize) -> Self {
+        let margin_nm = (frame_nm / 10).max(rules.min_pitch_nm);
+        assert!(
+            frame_nm > 2 * margin_nm + rules.min_cd_nm * 2,
+            "frame {frame_nm} nm too small for rules"
+        );
+        ClipSynthesizer { rules, frame_nm, target_groups, margin_nm, max_attempts: 400 }
+    }
+
+    /// The rule set used for synthesis.
+    #[inline]
+    pub fn rules(&self) -> DesignRules {
+        self.rules
+    }
+
+    /// Clip frame side length, nm.
+    #[inline]
+    pub fn frame_nm(&self) -> i64 {
+        self.frame_nm
+    }
+
+    /// Synthesizes one clip deterministically from `seed`.
+    pub fn synthesize(&self, seed: u64) -> Layout {
+        self.synthesize_with_area(seed, i64::MAX)
+    }
+
+    /// Synthesizes a clip, stopping early once the union pattern area reaches
+    /// `target_area_nm2` (used to regenerate the Table 2 "Area" column).
+    pub fn synthesize_with_area(&self, seed: u64, target_area_nm2: i64) -> Layout {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let frame = Rect::new(0, 0, self.frame_nm, self.frame_nm);
+        let mut accepted: Vec<Rect> = Vec::new();
+        let mut layout = Layout::new(frame);
+        let mut area = 0i64;
+        let mut groups = 0usize;
+        let mut attempts = 0usize;
+        while groups < self.target_groups
+            && area < target_area_nm2
+            && attempts < self.max_attempts * self.target_groups
+        {
+            attempts += 1;
+            let group = self.propose_group(&mut rng);
+            if self.group_fits(&group, &accepted) {
+                for r in &group {
+                    area += r.area();
+                    accepted.push(*r);
+                    layout.push(*r);
+                }
+                // Union area is approximated by the sum here (group members
+                // abut rather than overlap by construction), so `area` tracks
+                // the true pattern area closely enough for targeting.
+                groups += 1;
+            }
+        }
+        layout
+    }
+
+    /// Draws one candidate pattern group: a wire, L-, T- or U-shape.
+    fn propose_group(&self, rng: &mut StdRng) -> Vec<Rect> {
+        let cd = self.rules.min_cd_nm;
+        let lo = self.margin_nm;
+        let hi = self.frame_nm - self.margin_nm;
+        // Quantize positions to a sub-pitch grid to mimic track-based layout.
+        let quantum = self.rules.min_tip_to_tip_nm.min(cd) / 2;
+        let snap = |v: i64| (v / quantum) * quantum;
+        let span = hi - lo;
+        let min_len = (cd * 2).min(span);
+        let max_len = (span / 2).max(min_len + 1);
+
+        let kind = rng.gen_range(0..100);
+        let vertical = rng.gen_bool(0.5);
+        // Occasionally widen the wire (up to 2x CD), as real M1 does.
+        let width = if rng.gen_bool(0.2) { cd + snap(rng.gen_range(0..=cd)) } else { cd };
+        let len = snap(rng.gen_range(min_len..max_len)).max(min_len);
+        let x = snap(rng.gen_range(lo..hi - width.min(span)));
+        let y = snap(rng.gen_range(lo..hi - len.min(span)));
+
+        let trunk = if vertical {
+            Rect::from_origin_size(x, y, width, len)
+        } else {
+            Rect::from_origin_size(x, y, len, width)
+        };
+        let mut group = vec![trunk];
+        let arm_len = snap(rng.gen_range(min_len..max_len)).max(min_len);
+
+        if kind >= 55 {
+            // L-shape: arm from one end of the trunk.
+            group.push(self.arm(rng, &trunk, vertical, cd, arm_len, /*from_end=*/ true));
+        }
+        if kind >= 80 {
+            // T/U-shape: second arm from the other end.
+            group.push(self.arm(rng, &trunk, vertical, cd, arm_len, /*from_end=*/ false));
+        }
+        group
+    }
+
+    /// Builds an arm abutting the trunk at one of its ends.
+    fn arm(
+        &self,
+        rng: &mut StdRng,
+        trunk: &Rect,
+        trunk_vertical: bool,
+        cd: i64,
+        arm_len: i64,
+        from_end: bool,
+    ) -> Rect {
+        let positive = rng.gen_bool(0.5);
+        if trunk_vertical {
+            // Horizontal arm at the top or bottom of a vertical trunk.
+            let y = if from_end { trunk.y1 - cd } else { trunk.y0 };
+            if positive {
+                Rect::from_origin_size(trunk.x1, y, arm_len, cd)
+            } else {
+                Rect::from_origin_size(trunk.x0 - arm_len, y, arm_len, cd)
+            }
+        } else {
+            let x = if from_end { trunk.x1 - cd } else { trunk.x0 };
+            if positive {
+                Rect::from_origin_size(x, trunk.y1, cd, arm_len)
+            } else {
+                Rect::from_origin_size(x, trunk.y0 - arm_len, cd, arm_len)
+            }
+        }
+    }
+
+    /// Accepts a group only if every rect stays in the padded frame and keeps
+    /// rule-clean distances to every previously accepted rect.
+    fn group_fits(&self, group: &[Rect], accepted: &[Rect]) -> bool {
+        let inner = Rect::new(
+            self.margin_nm,
+            self.margin_nm,
+            self.frame_nm - self.margin_nm,
+            self.frame_nm - self.margin_nm,
+        );
+        for r in group {
+            if r.critical_dimension() < self.rules.min_cd_nm || !inner.contains_rect(r) {
+                return false;
+            }
+            for s in accepted {
+                let gap = r.gap(s);
+                if gap == 0 {
+                    return false; // would merge with a different group
+                }
+                let min = match classify_gap(r, s) {
+                    GapKind::TipToTip => self.rules.min_tip_to_tip_nm,
+                    GapKind::SideToSide | GapKind::Corner => self.rules.min_spacing_nm(),
+                };
+                if gap < min {
+                    return false;
+                }
+            }
+        }
+        // Members of the same group must form one connected pattern, and any
+        // non-touching pair inside the group must still respect spacing (the
+        // DRC checker does not know about nets).
+        if group.len() > 1 {
+            for (i, r) in group.iter().enumerate() {
+                let mut touches = false;
+                for (j, s) in group.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    let gap = r.gap(s);
+                    if gap == 0 {
+                        touches = true;
+                        continue;
+                    }
+                    let min = match classify_gap(r, s) {
+                        GapKind::TipToTip => self.rules.min_tip_to_tip_nm,
+                        GapKind::SideToSide | GapKind::Corner => self.rules.min_spacing_nm(),
+                    };
+                    if gap < min {
+                        return false;
+                    }
+                }
+                if !touches {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Pattern areas of the ten ICCAD-2013 benchmark clips (Table 2, "Area" in
+/// nm²) used to regenerate benchmark-like test cases.
+pub const TABLE2_AREAS_NM2: [i64; 10] = [
+    215_344, 169_280, 213_504, 82_560, 281_958, 286_234, 229_149, 128_544, 317_581, 102_400,
+];
+
+/// A regenerated benchmark clip.
+#[derive(Debug, Clone)]
+pub struct BenchmarkClip {
+    /// 1-based case id, matching Table 2 rows.
+    pub id: usize,
+    /// Target pattern area from Table 2, nm².
+    pub paper_area_nm2: i64,
+    /// The synthesized layout.
+    pub layout: Layout,
+}
+
+/// Regenerates ten benchmark-like clips whose pattern areas track the
+/// Table 2 "Area" column, on `frame_nm`-sized frames.
+///
+/// ```
+/// use ganopc_geometry::synthesis::benchmark_suite;
+/// let suite = benchmark_suite(2048);
+/// assert_eq!(suite.len(), 10);
+/// ```
+pub fn benchmark_suite(frame_nm: i64) -> Vec<BenchmarkClip> {
+    let rules = DesignRules::m1_32nm();
+    // Scale target areas with the frame: Table 2 areas assume 2048 nm clips.
+    let scale = (frame_nm as f64 / 2048.0).powi(2);
+    TABLE2_AREAS_NM2
+        .iter()
+        .enumerate()
+        .map(|(i, &paper_area)| {
+            let target = (paper_area as f64 * scale) as i64;
+            let synth = ClipSynthesizer::new(rules, frame_nm, 64);
+            let layout = synth.synthesize_with_area(1000 + i as u64, target);
+            BenchmarkClip { id: i + 1, paper_area_nm2: paper_area, layout }
+        })
+        .collect()
+}
+
+/// The synthesized training library of Section 4 (default 4000 instances).
+#[derive(Debug, Clone)]
+pub struct TrainingLibrary {
+    clips: Vec<Layout>,
+}
+
+impl TrainingLibrary {
+    /// Generates `count` DRC-clean clips on `frame_nm` frames, deterministic
+    /// in `base_seed`.
+    pub fn generate(rules: DesignRules, frame_nm: i64, count: usize, base_seed: u64) -> Self {
+        let clips = (0..count)
+            .map(|i| {
+                // Vary density across the library, spanning sparse training
+                // clips up to benchmark-like dense clips (cf. Table 2 areas).
+                let groups = 4 + (i % 25) * 2;
+                ClipSynthesizer::new(rules, frame_nm, groups)
+                    .synthesize(base_seed.wrapping_add(i as u64))
+            })
+            .collect();
+        TrainingLibrary { clips }
+    }
+
+    /// The generated clips.
+    #[inline]
+    pub fn clips(&self) -> &[Layout] {
+        &self.clips
+    }
+
+    /// Number of clips.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.clips.len()
+    }
+
+    /// Returns `true` when the library holds no clips.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.clips.is_empty()
+    }
+
+    /// Iterates over the clips.
+    pub fn iter(&self) -> std::slice::Iter<'_, Layout> {
+        self.clips.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a TrainingLibrary {
+    type Item = &'a Layout;
+    type IntoIter = std::slice::Iter<'a, Layout>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.clips.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drc;
+
+    #[test]
+    fn synthesized_clips_are_drc_clean() {
+        let rules = DesignRules::m1_32nm();
+        let synth = ClipSynthesizer::new(rules, 2048, 10);
+        for seed in 0..20 {
+            let clip = synth.synthesize(seed);
+            let violations = drc::check(&clip, &rules);
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+            assert!(!clip.is_empty(), "seed {seed} produced an empty clip");
+        }
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let rules = DesignRules::m1_32nm();
+        let synth = ClipSynthesizer::new(rules, 2048, 8);
+        assert_eq!(synth.synthesize(99), synth.synthesize(99));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let rules = DesignRules::m1_32nm();
+        let synth = ClipSynthesizer::new(rules, 2048, 8);
+        assert_ne!(synth.synthesize(1), synth.synthesize(2));
+    }
+
+    #[test]
+    fn clips_contain_multi_rect_shapes_eventually() {
+        // Across a handful of seeds we should see L/T shapes (groups > 1 rect),
+        // i.e. more rects than groups.
+        let rules = DesignRules::m1_32nm();
+        let synth = ClipSynthesizer::new(rules, 2048, 10);
+        let total_rects: usize = (0..10).map(|s| synth.synthesize(s).len()).sum();
+        assert!(total_rects > 10 * 6, "suspiciously few rects: {total_rects}");
+    }
+
+    #[test]
+    fn area_targeting_stops_near_target() {
+        let rules = DesignRules::m1_32nm();
+        let synth = ClipSynthesizer::new(rules, 2048, 256);
+        let target = 200_000;
+        let clip = synth.synthesize_with_area(5, target);
+        let area = clip.pattern_area();
+        // Must reach the target (within one max-shape overshoot) and not
+        // wildly exceed it.
+        assert!(area >= (target as f64 * 0.7) as i64, "area {area} too small");
+        assert!(area <= (target as f64 * 1.6) as i64, "area {area} too large");
+    }
+
+    #[test]
+    fn benchmark_suite_matches_table2_shape() {
+        let suite = benchmark_suite(2048);
+        assert_eq!(suite.len(), 10);
+        for clip in &suite {
+            assert!(drc::is_clean(&clip.layout, &DesignRules::m1_32nm()), "case {}", clip.id);
+            let area = clip.layout.pattern_area();
+            let target = clip.paper_area_nm2;
+            assert!(
+                (area as f64) > target as f64 * 0.6 && (area as f64) < target as f64 * 1.7,
+                "case {}: area {area} vs paper {target}",
+                clip.id
+            );
+        }
+        // Relative ordering of big vs small cases is preserved.
+        let a4 = suite[3].layout.pattern_area();
+        let a9 = suite[8].layout.pattern_area();
+        assert!(a9 > a4, "case 9 should be denser than case 4");
+    }
+
+    #[test]
+    fn training_library_generation() {
+        let lib = TrainingLibrary::generate(DesignRules::m1_32nm(), 1024, 16, 7);
+        assert_eq!(lib.len(), 16);
+        assert!(!lib.is_empty());
+        for clip in &lib {
+            assert!(drc::is_clean(clip, &DesignRules::m1_32nm()));
+        }
+        // Deterministic.
+        let lib2 = TrainingLibrary::generate(DesignRules::m1_32nm(), 1024, 16, 7);
+        assert_eq!(lib.clips(), lib2.clips());
+    }
+}

@@ -1,0 +1,263 @@
+//! A minimal line-oriented text format for layouts.
+//!
+//! Real EDA flows would hand this library GDSII/OASIS data; for a
+//! dependency-free reproduction we define a trivially parseable exchange
+//! format instead:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! frame 0 0 2048 2048
+//! rect 100 100 180 700
+//! poly 0,0 200,0 200,80 80,80 80,300 0,300
+//! ```
+//!
+//! * `frame x0 y0 x1 y1` — required, once, before any shape;
+//! * `rect x0 y0 x1 y1` — an axis-aligned rectangle;
+//! * `poly x,y x,y ...` — a rectilinear polygon (decomposed into
+//!   rectangles on load).
+
+use crate::polygon::{Polygon, PolygonError};
+use crate::{Layout, Rect};
+use std::fmt;
+use std::path::Path;
+
+/// Errors from parsing the text layout format.
+#[derive(Debug)]
+pub enum ParseLayoutError {
+    /// A line could not be interpreted.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Shape lines appeared before (or without) a `frame` line.
+    MissingFrame,
+    /// A polygon failed validation.
+    Polygon {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying polygon error.
+        source: PolygonError,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ParseLayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseLayoutError::Syntax { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            ParseLayoutError::MissingFrame => {
+                write!(f, "layout must declare a frame before shapes")
+            }
+            ParseLayoutError::Polygon { line, source } => {
+                write!(f, "line {line}: invalid polygon: {source}")
+            }
+            ParseLayoutError::Io(e) => write!(f, "i/o failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseLayoutError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseLayoutError::Polygon { source, .. } => Some(source),
+            ParseLayoutError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseLayoutError {
+    fn from(e: std::io::Error) -> Self {
+        ParseLayoutError::Io(e)
+    }
+}
+
+/// Serializes a layout to the text format.
+pub fn layout_to_string(layout: &Layout) -> String {
+    let f = layout.frame();
+    let mut out = format!("frame {} {} {} {}\n", f.x0, f.y0, f.x1, f.y1);
+    for r in layout.shapes() {
+        out.push_str(&format!("rect {} {} {} {}\n", r.x0, r.y0, r.x1, r.y1));
+    }
+    out
+}
+
+/// Parses a layout from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseLayoutError`] with a line number on any malformed input.
+pub fn parse_layout(text: &str) -> Result<Layout, ParseLayoutError> {
+    let mut layout: Option<Layout> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let keyword = tokens.next().expect("nonempty line");
+        let rest: Vec<&str> = tokens.collect();
+        let syntax = |message: String| ParseLayoutError::Syntax { line: line_no, message };
+        match keyword {
+            "frame" => {
+                let coords = parse_ints(&rest)
+                    .map_err(|m| syntax(m))?;
+                if coords.len() != 4 {
+                    return Err(syntax(format!("frame needs 4 coordinates, got {}", coords.len())));
+                }
+                let frame = Rect::new(coords[0], coords[1], coords[2], coords[3]);
+                if frame.is_empty() {
+                    return Err(syntax("frame encloses no area".into()));
+                }
+                if layout.is_some() {
+                    return Err(syntax("duplicate frame".into()));
+                }
+                layout = Some(Layout::new(frame));
+            }
+            "rect" => {
+                let target = layout.as_mut().ok_or(ParseLayoutError::MissingFrame)?;
+                let coords = parse_ints(&rest).map_err(|m| syntax(m))?;
+                if coords.len() != 4 {
+                    return Err(syntax(format!("rect needs 4 coordinates, got {}", coords.len())));
+                }
+                let r = Rect::new(coords[0], coords[1], coords[2], coords[3]);
+                if r.is_empty() {
+                    return Err(syntax("rect encloses no area".into()));
+                }
+                target.push(r);
+            }
+            "poly" => {
+                let target = layout.as_mut().ok_or(ParseLayoutError::MissingFrame)?;
+                let mut vertices = Vec::with_capacity(rest.len());
+                for pair in &rest {
+                    let Some((xs, ys)) = pair.split_once(',') else {
+                        return Err(syntax(format!("expected x,y pair, got '{pair}'")));
+                    };
+                    let x: i64 = xs
+                        .parse()
+                        .map_err(|_| syntax(format!("invalid coordinate '{xs}'")))?;
+                    let y: i64 = ys
+                        .parse()
+                        .map_err(|_| syntax(format!("invalid coordinate '{ys}'")))?;
+                    vertices.push((x, y));
+                }
+                let polygon = Polygon::new(vertices)
+                    .map_err(|source| ParseLayoutError::Polygon { line: line_no, source })?;
+                target.push_polygon(&polygon);
+            }
+            other => return Err(syntax(format!("unknown keyword '{other}'"))),
+        }
+    }
+    layout.ok_or(ParseLayoutError::MissingFrame)
+}
+
+fn parse_ints(tokens: &[&str]) -> Result<Vec<i64>, String> {
+    tokens
+        .iter()
+        .map(|t| t.parse::<i64>().map_err(|_| format!("invalid integer '{t}'")))
+        .collect()
+}
+
+/// Writes a layout file.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_layout<P: AsRef<Path>>(path: P, layout: &Layout) -> Result<(), ParseLayoutError> {
+    std::fs::write(path, layout_to_string(layout))?;
+    Ok(())
+}
+
+/// Reads a layout file.
+///
+/// # Errors
+///
+/// Propagates I/O failures and parse errors.
+pub fn read_layout<P: AsRef<Path>>(path: P) -> Result<Layout, ParseLayoutError> {
+    parse_layout(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_rect_layout() {
+        let mut clip = Layout::new(Rect::new(0, 0, 2048, 2048));
+        clip.push(Rect::from_origin_size(100, 100, 80, 700));
+        clip.push(Rect::from_origin_size(300, 200, 80, 900));
+        let text = layout_to_string(&clip);
+        let parsed = parse_layout(&text).unwrap();
+        assert_eq!(parsed, clip);
+    }
+
+    #[test]
+    fn parses_polygons_and_comments() {
+        let text = "\
+# an L-shape clip
+frame 0 0 1024 1024
+
+poly 0,0 200,0 200,80 80,80 80,300 0,300
+rect 500 500 580 900
+";
+        let clip = parse_layout(text).unwrap();
+        assert_eq!(clip.frame(), Rect::new(0, 0, 1024, 1024));
+        assert_eq!(clip.shapes().len(), 3); // 2 from the polygon + 1 rect
+        assert_eq!(clip.pattern_area(), 200 * 80 + 80 * 220 + 80 * 400);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let text = "frame 0 0 100 100\nrect 1 2 3\n";
+        match parse_layout(text) {
+            Err(ParseLayoutError::Syntax { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains("4 coordinates"), "{message}");
+            }
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_shapes_before_frame() {
+        assert!(matches!(
+            parse_layout("rect 0 0 10 10\n"),
+            Err(ParseLayoutError::MissingFrame)
+        ));
+        assert!(matches!(parse_layout(""), Err(ParseLayoutError::MissingFrame)));
+    }
+
+    #[test]
+    fn rejects_duplicate_frame_and_bad_tokens() {
+        assert!(parse_layout("frame 0 0 10 10\nframe 0 0 20 20\n").is_err());
+        assert!(parse_layout("frame 0 0 10 10\nblob 1 2\n").is_err());
+        assert!(parse_layout("frame 0 0 10 10\npoly 1,2 3;4 5,6 7,8\n").is_err());
+    }
+
+    #[test]
+    fn polygon_errors_carry_line() {
+        let text = "frame 0 0 100 100\npoly 0,0 5,5 5,0 0,5\n";
+        match parse_layout(text) {
+            Err(ParseLayoutError::Polygon { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected polygon error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("ganopc-textfmt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("clip.layout");
+        let mut clip = Layout::new(Rect::new(0, 0, 512, 512));
+        clip.push(Rect::new(10, 10, 90, 410));
+        write_layout(&path, &clip).unwrap();
+        assert_eq!(read_layout(&path).unwrap(), clip);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

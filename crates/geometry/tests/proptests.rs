@@ -1,0 +1,82 @@
+//! Property-based tests for the geometry substrate.
+
+use ganopc_geometry::layout::union_area;
+use ganopc_geometry::{drc, ClipSynthesizer, DesignRules, Layout, Rect};
+use proptest::prelude::*;
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (0i64..1000, 0i64..1000, 1i64..300, 1i64..300)
+        .prop_map(|(x, y, w, h)| Rect::from_origin_size(x, y, w, h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Intersection is commutative and contained in both operands.
+    #[test]
+    fn intersection_axioms(a in rect(), b in rect()) {
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            prop_assert!(i.area() <= a.area().min(b.area()));
+        } else {
+            prop_assert!(!a.intersects(&b));
+        }
+    }
+
+    /// Gap is symmetric and zero iff the rects intersect or abut.
+    #[test]
+    fn gap_symmetry(a in rect(), b in rect()) {
+        prop_assert_eq!(a.gap(&b), b.gap(&a));
+        if a.intersects(&b) {
+            prop_assert_eq!(a.gap(&b), 0);
+        }
+    }
+
+    /// Union area is translation invariant.
+    #[test]
+    fn union_area_translation_invariant(
+        rects in prop::collection::vec(rect(), 1..10),
+        dx in -500i64..500,
+        dy in -500i64..500,
+    ) {
+        let moved: Vec<Rect> = rects.iter().map(|r| r.translate(dx, dy)).collect();
+        prop_assert_eq!(union_area(&rects), union_area(&moved));
+    }
+
+    /// Inclusion–exclusion holds for two rectangles.
+    #[test]
+    fn union_area_inclusion_exclusion(a in rect(), b in rect()) {
+        let overlap = a.intersection(&b).map(|i| i.area()).unwrap_or(0);
+        prop_assert_eq!(union_area(&[a, b]), a.area() + b.area() - overlap);
+    }
+
+    /// The synthesizer emits DRC-clean, non-empty clips for any seed.
+    #[test]
+    fn synthesizer_always_clean(seed in 0u64..5000) {
+        let rules = DesignRules::m1_32nm();
+        let clip = ClipSynthesizer::new(rules, 2048, 6).synthesize(seed);
+        prop_assert!(!clip.is_empty());
+        let violations = drc::check(&clip, &rules);
+        prop_assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+    }
+
+    /// Rasterized coverage never exceeds 1 and total never exceeds the
+    /// frame area.
+    #[test]
+    fn raster_coverage_bounds(rects in prop::collection::vec(rect(), 0..8)) {
+        let clip = Layout::with_shapes(Rect::new(0, 0, 1024, 1024), rects);
+        let raster = clip.rasterize_raster(64, 64);
+        prop_assert!(raster.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        prop_assert!(raster.sum() <= (64.0 * 64.0) + 1e-3);
+    }
+
+    /// Pooling then nearest upsampling preserves the mean.
+    #[test]
+    fn pool_upsample_mean(values in prop::collection::vec(0.0f32..1.0, 64)) {
+        let r = ganopc_geometry::raster::Raster::from_vec(8, 8, values);
+        let round = r.avg_pool(2).upsample_nearest(2);
+        prop_assert!((round.mean() - r.mean()).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,265 @@
+//! On-disk caching of derived SOCS kernel stacks.
+//!
+//! Deriving a kernel stack means assembling and eigendecomposing the TCC —
+//! the dominant cost of [`crate::LithoModel`] construction (seconds at the
+//! default pupil grid). The stack depends only on the [`OpticalConfig`], so
+//! it is cached to disk keyed by a hash of the configuration; experiment
+//! binaries that build many models of the same optics pay the eigensolve
+//! once per process *and* once per machine.
+
+use crate::optics::OpticalConfig;
+use crate::socs::{SocsKernel, SocsKernels};
+use ganopc_fft::Complex;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Serializable image of a kernel stack.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StackImage {
+    /// Hash key of the generating configuration (collision check).
+    config_key: u64,
+    kernel_size: usize,
+    pixel_nm: f64,
+    /// Per kernel: weight + interleaved (re, im) taps.
+    kernels: Vec<(f32, Vec<(f32, f32)>)>,
+}
+
+/// A stable, quantized fingerprint of an optical configuration.
+///
+/// Floats are quantized to 1e-9 so that configurations equal up to noise
+/// share a cache entry, and the hash is FNV-1a over the quantized fields
+/// (stable across platforms and runs, unlike `DefaultHasher`).
+pub fn config_key(cfg: &OpticalConfig) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    let q = |f: f64| (f * 1e9).round() as i64 as u64;
+    mix(q(cfg.wavelength_nm));
+    mix(q(cfg.numerical_aperture));
+    mix(q(cfg.sigma_inner));
+    mix(q(cfg.sigma_outer));
+    mix(q(cfg.pixel_nm));
+    mix(cfg.kernel_size as u64);
+    mix(cfg.num_kernels as u64);
+    mix(cfg.pupil_grid as u64);
+    mix(q(cfg.defocus_nm));
+    h
+}
+
+/// Default cache directory: `$GANOPC_CACHE_DIR` or
+/// `<system temp>/ganopc-kernel-cache`.
+pub fn default_cache_dir() -> PathBuf {
+    std::env::var_os("GANOPC_CACHE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("ganopc-kernel-cache"))
+}
+
+fn cache_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join(format!("socs-{key:016x}.bin"))
+}
+
+fn encode(image: &StackImage) -> Vec<u8> {
+    // Simple length-prefixed binary layout (matches the checkpoint style):
+    // key u64 | ksize u64 | pixel f64 | count u32 | per kernel:
+    //   weight f32 | taps u32 | taps × (f32, f32).
+    let mut out = Vec::new();
+    out.extend_from_slice(b"GANOPCSK");
+    out.extend_from_slice(&image.config_key.to_le_bytes());
+    out.extend_from_slice(&(image.kernel_size as u64).to_le_bytes());
+    out.extend_from_slice(&image.pixel_nm.to_le_bytes());
+    out.extend_from_slice(&(image.kernels.len() as u32).to_le_bytes());
+    for (w, taps) in &image.kernels {
+        out.extend_from_slice(&w.to_le_bytes());
+        out.extend_from_slice(&(taps.len() as u32).to_le_bytes());
+        for (re, im) in taps {
+            out.extend_from_slice(&re.to_le_bytes());
+            out.extend_from_slice(&im.to_le_bytes());
+        }
+    }
+    out
+}
+
+fn decode(bytes: &[u8]) -> Option<StackImage> {
+    let mut cur = 0usize;
+    let take = |cur: &mut usize, n: usize| -> Option<&[u8]> {
+        let end = cur.checked_add(n)?;
+        if end > bytes.len() {
+            return None;
+        }
+        let s = &bytes[*cur..end];
+        *cur = end;
+        Some(s)
+    };
+    if take(&mut cur, 8)? != b"GANOPCSK" {
+        return None;
+    }
+    let config_key = u64::from_le_bytes(take(&mut cur, 8)?.try_into().ok()?);
+    let kernel_size = u64::from_le_bytes(take(&mut cur, 8)?.try_into().ok()?) as usize;
+    let pixel_nm = f64::from_le_bytes(take(&mut cur, 8)?.try_into().ok()?);
+    let count = u32::from_le_bytes(take(&mut cur, 4)?.try_into().ok()?) as usize;
+    if count == 0 || count > 1024 {
+        return None;
+    }
+    let mut kernels = Vec::with_capacity(count);
+    for _ in 0..count {
+        let w = f32::from_le_bytes(take(&mut cur, 4)?.try_into().ok()?);
+        let ntaps = u32::from_le_bytes(take(&mut cur, 4)?.try_into().ok()?) as usize;
+        if ntaps != kernel_size * kernel_size {
+            return None;
+        }
+        let raw = take(&mut cur, 8 * ntaps)?;
+        let taps: Vec<(f32, f32)> = raw
+            .chunks_exact(8)
+            .map(|c| {
+                (
+                    f32::from_le_bytes(c[0..4].try_into().expect("4 bytes")),
+                    f32::from_le_bytes(c[4..8].try_into().expect("4 bytes")),
+                )
+            })
+            .collect();
+        kernels.push((w, taps));
+    }
+    if cur != bytes.len() {
+        return None;
+    }
+    Some(StackImage { config_key, kernel_size, pixel_nm, kernels })
+}
+
+fn to_image(cfg: &OpticalConfig, stack: &SocsKernels) -> StackImage {
+    StackImage {
+        config_key: config_key(cfg),
+        kernel_size: stack.kernel_size(),
+        pixel_nm: stack.pixel_nm(),
+        kernels: stack
+            .kernels()
+            .iter()
+            .map(|k| (k.weight, k.taps.iter().map(|c| (c.re, c.im)).collect()))
+            .collect(),
+    }
+}
+
+fn from_image(image: StackImage) -> SocsKernels {
+    let kernels = image
+        .kernels
+        .into_iter()
+        .map(|(weight, taps)| SocsKernel {
+            weight,
+            taps: taps.into_iter().map(|(re, im)| Complex::new(re, im)).collect(),
+        })
+        .collect();
+    SocsKernels::from_parts(image.kernel_size, image.pixel_nm, kernels)
+}
+
+/// Loads the kernel stack for `cfg` from `dir`, deriving and storing it on
+/// a miss. Corrupt or mismatched cache entries are silently rederived
+/// (and overwritten); cache I/O failures fall back to derivation.
+pub fn load_or_derive(cfg: &OpticalConfig, dir: &Path) -> SocsKernels {
+    let key = config_key(cfg);
+    let path = cache_path(dir, key);
+    if let Ok(bytes) = std::fs::read(&path) {
+        if let Some(image) = decode(&bytes) {
+            if image.config_key == key {
+                return from_image(image);
+            }
+        }
+    }
+    let stack = SocsKernels::from_config(cfg);
+    if std::fs::create_dir_all(dir).is_ok() {
+        let _ = std::fs::write(&path, encode(&to_image(cfg, &stack)));
+    }
+    stack
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> OpticalConfig {
+        let mut c = OpticalConfig::default_32nm(32.0);
+        c.pupil_grid = 11;
+        c.num_kernels = 6;
+        c
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ganopc-cache-test-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn stacks_equal(a: &SocsKernels, b: &SocsKernels) -> bool {
+        a.kernel_size() == b.kernel_size()
+            && a.len() == b.len()
+            && a.kernels().iter().zip(b.kernels()).all(|(x, y)| {
+                x.weight == y.weight && x.taps == y.taps
+            })
+    }
+
+    #[test]
+    fn keys_distinguish_configs() {
+        let a = fast_cfg();
+        let mut b = fast_cfg();
+        b.defocus_nm = 40.0;
+        let mut c = fast_cfg();
+        c.num_kernels = 8;
+        assert_ne!(config_key(&a), config_key(&b));
+        assert_ne!(config_key(&a), config_key(&c));
+        assert_eq!(config_key(&a), config_key(&fast_cfg()));
+    }
+
+    #[test]
+    fn roundtrip_through_cache_file() {
+        let dir = temp_dir("roundtrip");
+        let cfg = fast_cfg();
+        let derived = load_or_derive(&cfg, &dir);
+        // Second call must hit the file and reproduce the stack exactly.
+        assert!(cache_path(&dir, config_key(&cfg)).exists());
+        let cached = load_or_derive(&cfg, &dir);
+        assert!(stacks_equal(&derived, &cached));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_entries_are_rederived() {
+        let dir = temp_dir("corrupt");
+        let cfg = fast_cfg();
+        let derived = load_or_derive(&cfg, &dir);
+        let path = cache_path(&dir, config_key(&cfg));
+        std::fs::write(&path, b"garbage").unwrap();
+        let recovered = load_or_derive(&cfg, &dir);
+        assert!(stacks_equal(&derived, &recovered));
+        // And the file was repaired.
+        let cached = load_or_derive(&cfg, &dir);
+        assert!(stacks_equal(&derived, &cached));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn encode_decode_is_exact() {
+        let cfg = fast_cfg();
+        let stack = SocsKernels::from_config(&cfg);
+        let image = to_image(&cfg, &stack);
+        let decoded = decode(&encode(&image)).expect("decodable");
+        assert_eq!(decoded.config_key, image.config_key);
+        assert_eq!(decoded.kernels.len(), image.kernels.len());
+        assert_eq!(decoded.kernels, image.kernels);
+    }
+
+    #[test]
+    fn truncated_blobs_rejected() {
+        let cfg = fast_cfg();
+        let stack = SocsKernels::from_config(&cfg);
+        let bytes = encode(&to_image(&cfg, &stack));
+        for cut in [4usize, 20, bytes.len() - 3] {
+            assert!(decode(&bytes[..cut]).is_none(), "cut {cut} accepted");
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode(&padded).is_none());
+    }
+}

@@ -1,0 +1,723 @@
+//! The lithography forward model and its adjoint (ILT) gradient.
+
+use crate::optics::OpticalConfig;
+use crate::socs::SocsKernels;
+use crate::{Field, LithoError};
+use ganopc_fft::spectrum::{self, KernelSpectrum};
+use ganopc_fft::{Complex, Direction, Fft2d};
+
+/// Result of one lithography-gradient evaluation (paper Eq. (11)–(14)).
+#[derive(Debug, Clone)]
+pub struct GradientResult {
+    /// `∂E/∂M_b` — gradient of the squared-L2 lithography error with respect
+    /// to the (relaxed) mask, including the resist-sigmoid chain factor
+    /// `2α·Z(1−Z)` but **not** the mask-sigmoid factor `β·M_b(1−M_b)`
+    /// (applied by the caller that owns the mask parametrization).
+    pub grad: Field,
+    /// The relaxed wafer image `Z = σ(α(I − I_th))` of Eq. (12).
+    pub wafer_relaxed: Field,
+    /// The aerial image `I` at nominal dose.
+    pub aerial: Field,
+    /// The lithography error `E = ‖Z − Z_t‖²` of Eq. (11), computed on the
+    /// relaxed wafer image.
+    pub error: f64,
+}
+
+/// A planned lithography simulator for one frame size.
+///
+/// Holds the SOCS kernel stack embedded as frame-sized spectra, the FFT plan,
+/// the calibrated resist threshold `I_th` and the sigmoid steepness `α` of
+/// Eq. (12).
+///
+/// ```
+/// use ganopc_litho::{Field, LithoModel};
+/// # fn main() -> Result<(), ganopc_litho::LithoError> {
+/// let model = LithoModel::iccad2013_like(64)?;
+/// let wafer = model.print_nominal(&Field::zeros(64, 64));
+/// assert_eq!(wafer.sum(), 0.0); // dark mask prints nothing
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct LithoModel {
+    cfg: OpticalConfig,
+    height: usize,
+    width: usize,
+    plan: Fft2d,
+    /// `(w_k, FFT(h_k))` pairs.
+    spectra: Vec<(f32, KernelSpectrum)>,
+    threshold: f32,
+    sigmoid_alpha: f32,
+    dose_delta: f32,
+}
+
+impl LithoModel {
+    /// Steepness `α` of the relaxed resist model (Eq. (12)). The paper does
+    /// not publish its value; 50 on a unit-normalized intensity scale gives
+    /// a resist transition ≈ 4 % of the open-field intensity wide.
+    pub const DEFAULT_SIGMOID_ALPHA: f32 = 50.0;
+    /// Dose excursion for the process-variability band (paper: ±2 %).
+    pub const DEFAULT_DOSE_DELTA: f32 = 0.02;
+
+    /// Builds a model on a square `size × size` frame emulating the
+    /// ICCAD-2013 setup: the frame represents a 2048 nm clip, so the pixel
+    /// pitch is `2048 / size` nm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LithoModel::new`] errors.
+    pub fn iccad2013_like(size: usize) -> Result<Self, LithoError> {
+        let pixel_nm = 2048.0 / size as f64;
+        let cfg = OpticalConfig::default_32nm(pixel_nm);
+        LithoModel::new(cfg, size, size)
+    }
+
+    /// Cached variant of [`LithoModel::iccad2013_like`] (see
+    /// [`LithoModel::new_cached`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LithoModel::new`] errors.
+    pub fn iccad2013_like_cached(size: usize) -> Result<Self, LithoError> {
+        let pixel_nm = 2048.0 / size as f64;
+        let cfg = OpticalConfig::default_32nm(pixel_nm);
+        LithoModel::new_cached(cfg, size, size)
+    }
+
+    /// Like [`LithoModel::new`] but loads the SOCS kernel stack through the
+    /// on-disk cache ([`crate::cache`]), skipping the TCC eigendecomposition
+    /// when this configuration has been derived before.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LithoModel::new`].
+    pub fn new_cached(cfg: OpticalConfig, height: usize, width: usize) -> Result<Self, LithoError> {
+        Self::build(cfg, height, width, true)
+    }
+
+    /// Builds a model for an arbitrary configuration and frame.
+    ///
+    /// Kernel supports larger than the frame are clamped (kept odd). The
+    /// resist threshold is calibrated so that an isolated 80 nm line prints
+    /// at its drawn width (see `calibrate_threshold`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::InvalidFrame`] for non-power-of-two frames and
+    /// [`LithoError::Calibration`] when threshold calibration cannot bracket
+    /// the line edge (degenerate configurations).
+    pub fn new(cfg: OpticalConfig, height: usize, width: usize) -> Result<Self, LithoError> {
+        Self::build(cfg, height, width, false)
+    }
+
+    fn build(mut cfg: OpticalConfig, height: usize, width: usize, cached: bool) -> Result<Self, LithoError> {
+        cfg.validate().map_err(LithoError::InvalidFrame)?;
+        if !ganopc_fft::is_power_of_two(height) || !ganopc_fft::is_power_of_two(width) {
+            return Err(LithoError::InvalidFrame(format!(
+                "frame {height}x{width} must have power-of-two sides"
+            )));
+        }
+        let max_k = height.min(width) - 1;
+        if cfg.kernel_size > max_k {
+            cfg.kernel_size = if max_k % 2 == 0 { max_k - 1 } else { max_k };
+        }
+        if cfg.kernel_size < 3 {
+            return Err(LithoError::InvalidFrame(format!(
+                "frame {height}x{width} too small for any kernel support"
+            )));
+        }
+        let stack = if cached {
+            crate::cache::load_or_derive(&cfg, &crate::cache::default_cache_dir())
+        } else {
+            SocsKernels::from_config(&cfg)
+        };
+        let plan = Fft2d::new(height, width)?;
+        let spectra = stack
+            .kernels()
+            .iter()
+            .map(|k| {
+                KernelSpectrum::new(&k.taps, stack.kernel_size(), height, width)
+                    .map(|s| (k.weight, s))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut model = LithoModel {
+            cfg,
+            height,
+            width,
+            plan,
+            spectra,
+            threshold: 0.3,
+            sigmoid_alpha: Self::DEFAULT_SIGMOID_ALPHA,
+            dose_delta: Self::DEFAULT_DOSE_DELTA,
+        };
+        model.threshold = model.calibrate_threshold()?;
+        Ok(model)
+    }
+
+    /// Chooses `I_th` as the aerial intensity at the drawn edge of an
+    /// isolated 80 nm (minimum-CD) vertical line, so minimum features print
+    /// on size. Mirrors how constant-threshold resist models are calibrated
+    /// against a reference structure.
+    fn calibrate_threshold(&self) -> Result<f32, LithoError> {
+        let cd_px = (80.0 / self.cfg.pixel_nm).max(1.0);
+        let cx = self.width as f64 / 2.0;
+        let (x0, x1) = (cx - cd_px / 2.0, cx + cd_px / 2.0);
+        let mut mask = Field::zeros(self.height, self.width);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                // Area-weighted coverage of the line over this pixel column.
+                let lo = (x as f64).max(x0);
+                let hi = ((x + 1) as f64).min(x1);
+                let cov = (hi - lo).max(0.0);
+                if cov > 0.0 {
+                    mask.set(y, x, cov as f32);
+                }
+            }
+        }
+        let aerial = self.aerial_image(&mask);
+        // Intensity profile along the middle row; sample at the drawn edge.
+        let row = self.height / 2;
+        let edge = x1 - 0.5; // pixel-center coordinate of the right edge
+        let xe0 = edge.floor() as usize;
+        let xe1 = (xe0 + 1).min(self.width - 1);
+        let t = (edge - xe0 as f64) as f32;
+        let i_edge = aerial.get(row, xe0) * (1.0 - t) + aerial.get(row, xe1) * t;
+        let peak = aerial.get(row, self.width / 2);
+        if !(i_edge.is_finite() && i_edge > 0.0 && i_edge < peak) {
+            return Err(LithoError::Calibration(format!(
+                "edge intensity {i_edge} outside (0, peak={peak})"
+            )));
+        }
+        Ok(i_edge)
+    }
+
+    /// Frame `(height, width)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.height, self.width)
+    }
+
+    /// The optical configuration the model was built with.
+    #[inline]
+    pub fn config(&self) -> &OpticalConfig {
+        &self.cfg
+    }
+
+    /// The calibrated resist threshold `I_th`.
+    #[inline]
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// The resist-sigmoid steepness `α` (Eq. (12)).
+    #[inline]
+    pub fn sigmoid_alpha(&self) -> f32 {
+        self.sigmoid_alpha
+    }
+
+    /// Overrides the resist-sigmoid steepness.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `alpha > 0`.
+    pub fn set_sigmoid_alpha(&mut self, alpha: f32) {
+        assert!(alpha > 0.0, "sigmoid steepness must be positive");
+        self.sigmoid_alpha = alpha;
+    }
+
+    /// The PVB dose excursion (fraction, default 0.02).
+    #[inline]
+    pub fn dose_delta(&self) -> f32 {
+        self.dose_delta
+    }
+
+    /// Simulation pixel pitch, nm.
+    #[inline]
+    pub fn pixel_nm(&self) -> f64 {
+        self.cfg.pixel_nm
+    }
+
+    /// Number of SOCS kernels in use.
+    #[inline]
+    pub fn num_kernels(&self) -> usize {
+        self.spectra.len()
+    }
+
+    fn check_shape(&self, field: &Field) -> Result<(), LithoError> {
+        if field.shape() != (self.height, self.width) {
+            return Err(LithoError::ShapeMismatch {
+                expected: (self.height, self.width),
+                actual: field.shape(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Spectrum of a real mask, reused across kernels.
+    fn mask_spectrum(&self, mask: &Field) -> Vec<Complex> {
+        self.plan.forward_real(mask.as_slice()).expect("planned size")
+    }
+
+    /// Per-kernel convolved fields `A_k = M ⊗ h_k` from a precomputed mask
+    /// spectrum.
+    fn convolved_fields(&self, mask_spec: &[Complex]) -> Vec<Vec<Complex>> {
+        let n_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(self.spectra.len())
+            .max(1);
+        let chunk = self.spectra.len().div_ceil(n_threads);
+        let mut out: Vec<Vec<Complex>> = Vec::with_capacity(self.spectra.len());
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .spectra
+                .chunks(chunk)
+                .map(|specs| {
+                    scope.spawn(move |_| {
+                        specs
+                            .iter()
+                            .map(|(_, ks)| {
+                                let mut buf = mask_spec.to_vec();
+                                spectrum::mul_assign(&mut buf, ks.as_slice());
+                                self.plan
+                                    .transform(&mut buf, Direction::Inverse)
+                                    .expect("planned size");
+                                buf
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("litho worker panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        out
+    }
+
+    /// Aerial image `I = Σ_k w_k |M ⊗ h_k|²` at nominal dose (Eq. (2)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` does not match the model frame (use
+    /// [`LithoModel::try_aerial_image`] for a fallible variant).
+    pub fn aerial_image(&self, mask: &Field) -> Field {
+        self.try_aerial_image(mask).expect("mask shape mismatch")
+    }
+
+    /// Fallible variant of [`LithoModel::aerial_image`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::ShapeMismatch`] when `mask` has the wrong shape.
+    pub fn try_aerial_image(&self, mask: &Field) -> Result<Field, LithoError> {
+        self.check_shape(mask)?;
+        let spec = self.mask_spectrum(mask);
+        let fields = self.convolved_fields(&spec);
+        let mut intensity = vec![0.0f32; self.height * self.width];
+        for ((w, _), a) in self.spectra.iter().zip(&fields) {
+            for (i, c) in a.iter().enumerate() {
+                intensity[i] += w * c.norm_sqr();
+            }
+        }
+        Ok(Field::from_vec(self.height, self.width, intensity))
+    }
+
+    /// Binary wafer image at a given dose: `Z = [dose · I ≥ I_th]`
+    /// (Eq. (3)).
+    pub fn print(&self, mask: &Field, dose: f32) -> Field {
+        let aerial = self.aerial_image(mask);
+        aerial.map(|i| if dose * i >= self.threshold { 1.0 } else { 0.0 })
+    }
+
+    /// Binary wafer image at nominal dose.
+    pub fn print_nominal(&self, mask: &Field) -> Field {
+        self.print(mask, 1.0)
+    }
+
+    /// Prints at `1−δ`, `1`, `1+δ` dose — inputs to the PVB metric.
+    pub fn process_window(&self, mask: &Field) -> [Field; 3] {
+        let aerial = self.aerial_image(mask);
+        let mut out = [
+            Field::zeros(self.height, self.width),
+            Field::zeros(self.height, self.width),
+            Field::zeros(self.height, self.width),
+        ];
+        for (slot, dose) in
+            out.iter_mut().zip([1.0 - self.dose_delta, 1.0, 1.0 + self.dose_delta])
+        {
+            *slot = aerial.map(|i| if dose * i >= self.threshold { 1.0 } else { 0.0 });
+        }
+        out
+    }
+
+    /// Relaxed wafer image `Z = σ(α(I − I_th))` of Eq. (12) from an aerial
+    /// image.
+    pub fn relax(&self, aerial: &Field) -> Field {
+        let a = self.sigmoid_alpha;
+        let th = self.threshold;
+        aerial.map(|i| 1.0 / (1.0 + (-a * (i - th)).exp()))
+    }
+
+    /// Lithography error and gradient (Eq. (11) + Eq. (14) without the mask
+    /// sigmoid chain): given a relaxed mask `M_b ∈ [0,1]` and a binary
+    /// target, returns `∂E/∂M_b` where `E = ‖Z − Z_t‖²` on the relaxed wafer
+    /// at nominal dose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::ShapeMismatch`] when shapes disagree with the
+    /// frame.
+    pub fn gradient(&self, mask: &Field, target: &Field) -> Result<GradientResult, LithoError> {
+        self.gradient_at_dose(mask, target, 1.0)
+    }
+
+    /// [`LithoModel::gradient`] evaluated at an arbitrary dose (used by
+    /// process-window-aware ILT, which averages corners — the strategy of
+    /// MOSAIC [7 in the paper]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::ShapeMismatch`] when shapes disagree with the
+    /// frame.
+    pub fn gradient_at_dose(
+        &self,
+        mask: &Field,
+        target: &Field,
+        dose: f32,
+    ) -> Result<GradientResult, LithoError> {
+        self.check_shape(mask)?;
+        self.check_shape(target)?;
+        assert!(dose > 0.0, "dose must be positive");
+        let n = self.height * self.width;
+
+        let mask_spec = self.mask_spectrum(mask);
+        let fields = self.convolved_fields(&mask_spec);
+
+        // Aerial image and relaxed wafer.
+        let mut intensity = vec![0.0f32; n];
+        for ((w, _), a) in self.spectra.iter().zip(&fields) {
+            for (i, c) in a.iter().enumerate() {
+                intensity[i] += w * c.norm_sqr();
+            }
+        }
+        let aerial = Field::from_vec(self.height, self.width, intensity);
+        let z = if dose == 1.0 {
+            self.relax(&aerial)
+        } else {
+            self.relax(&aerial.map(|i| dose * i))
+        };
+
+        // E and the common factor g = 2α·dose (Z − Z_t) ⊙ Z ⊙ (1 − Z).
+        let mut error = 0.0f64;
+        let mut g = vec![0.0f32; n];
+        let alpha = self.sigmoid_alpha * dose;
+        for i in 0..n {
+            let d = z.as_slice()[i] - target.as_slice()[i];
+            error += (d as f64) * (d as f64);
+            let zi = z.as_slice()[i];
+            g[i] = 2.0 * alpha * d * zi * (1.0 - zi);
+        }
+
+        // grad = Σ_k w_k · 2 Re[ IFFT( FFT(g ⊙ A_k) ⊙ conj(H_k) ) ].
+        let n_threads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+            .min(self.spectra.len())
+            .max(1);
+        let chunk = self.spectra.len().div_ceil(n_threads);
+        let jobs: Vec<(f32, &KernelSpectrum, &Vec<Complex>)> = self
+            .spectra
+            .iter()
+            .zip(&fields)
+            .map(|((w, ks), a)| (*w, ks, a))
+            .collect();
+        let g_ref = &g;
+        let mut grad = vec![0.0f32; n];
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .chunks(chunk)
+                .map(|batch| {
+                    scope.spawn(move |_| {
+                        let mut local = vec![0.0f32; n];
+                        for (w, ks, a) in batch {
+                            let mut u: Vec<Complex> = a
+                                .iter()
+                                .zip(g_ref)
+                                .map(|(c, &gi)| c.scale(gi))
+                                .collect();
+                            self.plan
+                                .transform(&mut u, Direction::Forward)
+                                .expect("planned size");
+                            spectrum::mul_conj_assign(&mut u, ks.as_slice());
+                            self.plan
+                                .transform(&mut u, Direction::Inverse)
+                                .expect("planned size");
+                            for (l, c) in local.iter_mut().zip(&u) {
+                                *l += w * 2.0 * c.re;
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (gi, l) in grad.iter_mut().zip(h.join().expect("gradient worker")) {
+                    *gi += l;
+                }
+            }
+        })
+        .expect("crossbeam scope");
+
+        Ok(GradientResult {
+            grad: Field::from_vec(self.height, self.width, grad),
+            wafer_relaxed: z,
+            aerial,
+            error,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_model() -> LithoModel {
+        let mut cfg = OpticalConfig::default_32nm(16.0);
+        cfg.pupil_grid = 11;
+        cfg.num_kernels = 8;
+        LithoModel::new(cfg, 64, 64).unwrap()
+    }
+
+    fn line_mask(h: usize, w: usize, x0: usize, x1: usize, y0: usize, y1: usize) -> Field {
+        let mut m = Field::zeros(h, w);
+        for y in y0..y1 {
+            for x in x0..x1 {
+                m.set(y, x, 1.0);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_frame() {
+        let cfg = OpticalConfig::default_32nm(16.0);
+        assert!(matches!(
+            LithoModel::new(cfg, 96, 96),
+            Err(LithoError::InvalidFrame(_))
+        ));
+    }
+
+    #[test]
+    fn dark_mask_prints_nothing_open_mask_prints_everything() {
+        let model = small_model();
+        let dark = model.print_nominal(&Field::zeros(64, 64));
+        assert_eq!(dark.sum(), 0.0);
+        let open = model.print_nominal(&Field::filled(64, 64, 1.0));
+        assert_eq!(open.sum(), (64 * 64) as f32);
+    }
+
+    #[test]
+    fn minimum_line_prints_near_drawn_width() {
+        // 80 nm at 16 nm/px = 5 px; the calibrated threshold should print it
+        // within ±1 px of drawn CD at mid-height.
+        let model = small_model();
+        let mask = line_mask(64, 64, 30, 35, 8, 56);
+        let wafer = model.print_nominal(&mask);
+        let row: usize = 32;
+        let printed: f32 = (0..64).map(|x| wafer.get(row, x)).sum();
+        assert!(
+            (4.0..=7.0).contains(&printed),
+            "printed CD {printed} px, expected ~5"
+        );
+    }
+
+    #[test]
+    fn corners_round_line_ends_pull_back() {
+        // Proximity effect: the printed wire should be shorter than drawn.
+        let model = small_model();
+        let mask = line_mask(64, 64, 30, 35, 16, 48);
+        let wafer = model.print_nominal(&mask);
+        let col = 32;
+        let printed_len: f32 = (0..64).map(|y| wafer.get(y, col)).sum();
+        assert!(printed_len > 0.0, "line vanished entirely");
+        assert!(printed_len < 32.0, "no line-end pullback: {printed_len} px");
+    }
+
+    #[test]
+    fn higher_dose_prints_larger() {
+        let model = small_model();
+        let mask = line_mask(64, 64, 28, 36, 8, 56);
+        let [inner, nominal, outer] = model.process_window(&mask);
+        assert!(inner.sum() <= nominal.sum());
+        assert!(nominal.sum() <= outer.sum());
+        assert!(outer.sum() > inner.sum(), "dose sensitivity collapsed");
+    }
+
+    #[test]
+    fn relax_approaches_binary_for_steep_sigmoid() {
+        let mut model = small_model();
+        let mask = line_mask(64, 64, 28, 36, 8, 56);
+        let aerial = model.aerial_image(&mask);
+        model.set_sigmoid_alpha(500.0);
+        let z = model.relax(&aerial);
+        let binary = model.print_nominal(&mask);
+        let mismatch: f32 = z
+            .as_slice()
+            .iter()
+            .zip(binary.as_slice())
+            .map(|(&a, &b)| (a - b).abs())
+            .sum();
+        // Soft and hard wafers agree except in the thin transition band.
+        assert!(mismatch < 64.0, "relaxation too soft: {mismatch}");
+    }
+
+    #[test]
+    fn aerial_shape_mismatch_is_error() {
+        let model = small_model();
+        let bad = Field::zeros(32, 32);
+        assert!(matches!(
+            model.try_aerial_image(&bad),
+            Err(LithoError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let model = small_model();
+        let mask = {
+            // A soft blob, away from binarization plateaus.
+            let mut m = Field::zeros(64, 64);
+            for y in 24..40 {
+                for x in 24..40 {
+                    m.set(y, x, 0.6);
+                }
+            }
+            m
+        };
+        let target = line_mask(64, 64, 28, 36, 24, 40);
+        let result = model.gradient(&mask, &target).unwrap();
+
+        // Directional finite difference: aggregate over the whole field so
+        // f32 forward-model rounding averages out. Direction = deterministic
+        // pseudo-random unit vector.
+        let mut dir = vec![0.0f32; 64 * 64];
+        let mut state = 0xdead_beef_u64;
+        for d in dir.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *d = ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5;
+        }
+        let norm = dir.iter().map(|d| d * d).sum::<f32>().sqrt();
+        for d in dir.iter_mut() {
+            *d /= norm;
+        }
+        let eps = 1e-2f32;
+        let shifted = |sign: f32| {
+            Field::from_vec(
+                64,
+                64,
+                mask.as_slice()
+                    .iter()
+                    .zip(&dir)
+                    .map(|(&m, &d)| m + sign * eps * d)
+                    .collect(),
+            )
+        };
+        let ep = model.gradient(&shifted(1.0), &target).unwrap().error;
+        let em = model.gradient(&shifted(-1.0), &target).unwrap().error;
+        let fd = (ep - em) / (2.0 * eps as f64);
+        let analytic: f64 = result
+            .grad
+            .as_slice()
+            .iter()
+            .zip(&dir)
+            .map(|(&g, &d)| g as f64 * d as f64)
+            .sum();
+        let denom = fd.abs().max(analytic.abs()).max(1e-6);
+        assert!(
+            (fd - analytic).abs() / denom < 0.02,
+            "directional derivative: fd {fd} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn gradient_pointwise_matches_on_strong_pixels() {
+        // Per-pixel check restricted to pixels where the gradient is large
+        // enough to rise above f32 forward-model noise.
+        let model = small_model();
+        let mut mask = Field::zeros(64, 64);
+        for y in 24..40 {
+            for x in 24..40 {
+                mask.set(y, x, 0.6);
+            }
+        }
+        let target = line_mask(64, 64, 28, 36, 24, 40);
+        let result = model.gradient(&mask, &target).unwrap();
+        let (py, px) = {
+            let mut best = (0, 0);
+            let mut mag = 0.0f32;
+            for y in 0..64 {
+                for x in 0..64 {
+                    if result.grad.get(y, x).abs() > mag {
+                        mag = result.grad.get(y, x).abs();
+                        best = (y, x);
+                    }
+                }
+            }
+            best
+        };
+        let eps = 5e-3f32;
+        let mut plus = mask.clone();
+        plus.set(py, px, plus.get(py, px) + eps);
+        let mut minus = mask.clone();
+        minus.set(py, px, minus.get(py, px) - eps);
+        let ep = model.gradient(&plus, &target).unwrap().error;
+        let em = model.gradient(&minus, &target).unwrap().error;
+        let fd = ((ep - em) / (2.0 * eps as f64)) as f32;
+        let an = result.grad.get(py, px);
+        assert!(
+            (fd - an).abs() / an.abs().max(1e-6) < 0.05,
+            "pixel ({py},{px}): fd {fd} vs analytic {an}"
+        );
+    }
+
+    #[test]
+    fn gradient_error_decreases_along_negative_gradient() {
+        let model = small_model();
+        let target = line_mask(64, 64, 28, 36, 16, 48);
+        let mask = Field::filled(64, 64, 0.4);
+        let r0 = model.gradient(&mask, &target).unwrap();
+        let step = 1e-2f32;
+        let moved = Field::from_vec(
+            64,
+            64,
+            mask.as_slice()
+                .iter()
+                .zip(r0.grad.as_slice())
+                .map(|(&m, &g)| (m - step * g).clamp(0.0, 1.0))
+                .collect(),
+        );
+        let r1 = model.gradient(&moved, &target).unwrap();
+        assert!(
+            r1.error < r0.error,
+            "descent failed: {} -> {}",
+            r0.error,
+            r1.error
+        );
+    }
+
+    #[test]
+    fn threshold_is_sane() {
+        let model = small_model();
+        let th = model.threshold();
+        assert!(th > 0.01 && th < 1.0, "threshold {th}");
+    }
+
+    #[test]
+    fn kernel_count_respects_config() {
+        let model = small_model();
+        assert!(model.num_kernels() <= 8);
+        assert!(model.num_kernels() >= 4);
+    }
+}

@@ -1,0 +1,366 @@
+//! Transmission-cross-coefficient (TCC) assembly and decomposition.
+//!
+//! Hopkins' formulation of partially coherent imaging [19 in the paper]
+//! expresses the aerial image through the 4-D TCC operator
+//!
+//! ```text
+//! TCC(f₁, f₂) = ∫ J(s) · P(s + f₁) · P*(s + f₂) ds
+//! ```
+//!
+//! where `J` is the source intensity distribution and `P` the pupil
+//! function. Sampling mask frequencies `f` on a grid restricted to the pupil
+//! disk turns `TCC` into a Hermitian PSD matrix whose leading eigenpairs
+//! give the SOCS kernels of Eq. (2) — the same construction Cobb's thesis
+//! [20 in the paper] uses to derive production OPC kernels.
+//!
+//! At nominal focus the pupil is real, the TCC is real symmetric and a
+//! plain Jacobi sweep suffices. With defocus the pupil carries a quadratic
+//! phase, the TCC becomes complex Hermitian, and we eigendecompose it
+//! through the standard real embedding `[[A, −B], [B, A]]` of `H = A + iB`.
+
+use crate::jacobi::{eigendecompose, SymMatrix};
+use crate::optics::OpticalConfig;
+
+/// A frequency sample inside the pupil disk, in normalized pupil coordinates
+/// (cutoff = 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FreqSample {
+    /// Normalized x-frequency.
+    pub ux: f64,
+    /// Normalized y-frequency.
+    pub uy: f64,
+}
+
+/// The decomposed TCC: frequency samples plus eigenpairs over them.
+#[derive(Debug, Clone)]
+pub struct TccDecomposition {
+    /// Frequency samples the operator was built on.
+    pub samples: Vec<FreqSample>,
+    /// Eigenvalues, descending (all ≥ 0 up to rounding).
+    pub eigenvalues: Vec<f64>,
+    /// Eigenvectors; `eigenvectors[k][j]` is the complex `(re, im)`
+    /// coefficient of sample `j` in kernel `k`. Imaginary parts are zero at
+    /// nominal focus.
+    pub eigenvectors: Vec<Vec<(f64, f64)>>,
+}
+
+/// Complex pupil at a normalized frequency: circular aperture with the
+/// paraxial defocus phase `exp(iπ·Δz·NA²·|u|²/λ)`.
+#[inline]
+fn pupil(cfg: &OpticalConfig, ux: f64, uy: f64) -> (f64, f64) {
+    let r2 = ux * ux + uy * uy;
+    if r2 > 1.0 {
+        return (0.0, 0.0);
+    }
+    if cfg.defocus_nm == 0.0 {
+        return (1.0, 0.0);
+    }
+    let na = cfg.numerical_aperture;
+    let phase =
+        std::f64::consts::PI * cfg.defocus_nm * na * na * r2 / cfg.wavelength_nm;
+    (phase.cos(), phase.sin())
+}
+
+/// Enumerates the normalized frequency grid samples inside the pupil disk.
+///
+/// The grid has `cfg.pupil_grid` samples per axis spanning `[-1, 1]`.
+pub fn pupil_samples(cfg: &OpticalConfig) -> Vec<FreqSample> {
+    let n = cfg.pupil_grid;
+    let half = (n / 2) as f64;
+    let mut samples = Vec::new();
+    for iy in 0..n {
+        for ix in 0..n {
+            let ux = (ix as f64 - half) / half;
+            let uy = (iy as f64 - half) / half;
+            if ux * ux + uy * uy <= 1.0 + 1e-12 {
+                samples.push(FreqSample { ux, uy });
+            }
+        }
+    }
+    samples
+}
+
+/// Annular source sample points with weights, normalized to unit total.
+fn source_samples(cfg: &OpticalConfig) -> Vec<(f64, f64, f64)> {
+    // Sample the annulus on a grid fine enough to resolve its ring width.
+    let n = (2 * cfg.pupil_grid + 1).max(21);
+    let half = (n / 2) as f64;
+    let mut pts = Vec::new();
+    let (s0, s1) = (cfg.sigma_inner, cfg.sigma_outer);
+    for iy in 0..n {
+        for ix in 0..n {
+            let sx = (ix as f64 - half) / half; // spans [-1, 1]
+            let sy = (iy as f64 - half) / half;
+            let r = (sx * sx + sy * sy).sqrt();
+            if r >= s0 - 1e-12 && r <= s1 + 1e-12 {
+                pts.push((sx, sy, 1.0));
+            }
+        }
+    }
+    assert!(!pts.is_empty(), "annulus too thin for the source grid");
+    let total: f64 = pts.iter().map(|p| p.2).sum();
+    for p in &mut pts {
+        p.2 /= total;
+    }
+    pts
+}
+
+/// Assembles the Hermitian TCC over the in-pupil frequency samples as real
+/// and imaginary parts `H = A + iB` (`A` symmetric, `B` antisymmetric; `B`
+/// is zero at nominal focus).
+pub fn build_tcc(cfg: &OpticalConfig) -> (Vec<FreqSample>, SymMatrix, Vec<f64>) {
+    let samples = pupil_samples(cfg);
+    let source = source_samples(cfg);
+    let n = samples.len();
+    let mut re = SymMatrix::zeros(n);
+    // Antisymmetric imaginary part stored dense row-major.
+    let mut im = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in i..n {
+            let (fi, fj) = (samples[i], samples[j]);
+            let mut acc_re = 0.0;
+            let mut acc_im = 0.0;
+            for &(sx, sy, wgt) in &source {
+                let (p1r, p1i) = pupil(cfg, sx + fi.ux, sy + fi.uy);
+                let (p2r, p2i) = pupil(cfg, sx + fj.ux, sy + fj.uy);
+                // J · P(s+f1) · conj(P(s+f2))
+                acc_re += wgt * (p1r * p2r + p1i * p2i);
+                acc_im += wgt * (p1i * p2r - p1r * p2i);
+            }
+            re.set_sym(i, j, acc_re);
+            im[i * n + j] = acc_im;
+            im[j * n + i] = -acc_im;
+        }
+    }
+    (samples, re, im)
+}
+
+/// Builds and eigendecomposes the TCC for an optical configuration.
+///
+/// Returns at most `cfg.num_kernels` leading eigenpairs; eigenvalues below
+/// `1e-9` of the largest are dropped (they contribute nothing to the image).
+///
+/// ```
+/// use ganopc_litho::{optics::OpticalConfig, tcc::decompose};
+/// let cfg = OpticalConfig::default_32nm(16.0);
+/// let dec = decompose(&cfg);
+/// assert!(!dec.eigenvalues.is_empty());
+/// assert!(dec.eigenvalues.windows(2).all(|w| w[0] >= w[1]));
+/// ```
+pub fn decompose(cfg: &OpticalConfig) -> TccDecomposition {
+    let (samples, re, im) = build_tcc(cfg);
+    let n = samples.len();
+    let hermitian = im.iter().any(|&v| v.abs() > 1e-14);
+
+    let (values, vectors): (Vec<f64>, Vec<Vec<(f64, f64)>>) = if !hermitian {
+        let pairs = eigendecompose(&re, 1e-12, 40);
+        let values = pairs.iter().map(|p| p.value).collect();
+        let vectors = pairs
+            .into_iter()
+            .map(|p| p.vector.into_iter().map(|x| (x, 0.0)).collect())
+            .collect();
+        (values, vectors)
+    } else {
+        // Real embedding of H = A + iB:  M = [[A, -B], [B, A]], size 2n.
+        // Each eigenvalue of H appears twice in M; the eigenvector halves
+        // (x; y) recombine into the complex eigenvector v = x + iy.
+        let mut m = SymMatrix::zeros(2 * n);
+        for i in 0..n {
+            for j in 0..n {
+                let a = re.get(i, j);
+                let b = im[i * n + j];
+                m.set_sym(i, j, a);
+                m.set_sym(n + i, n + j, a);
+                // -B in the upper-right block; B in the lower-left. M is
+                // symmetric because B is antisymmetric.
+                if i <= j {
+                    m.set_sym(i, n + j, -b);
+                    m.set_sym(j, n + i, b);
+                }
+            }
+        }
+        let pairs = eigendecompose(&m, 1e-12, 60);
+        // Deduplicate the doubled spectrum: walk in descending order and
+        // skip every second member of each (numerically) equal pair.
+        let mut values = Vec::new();
+        let mut vectors: Vec<Vec<(f64, f64)>> = Vec::new();
+        let mut skip_next_match: Option<f64> = None;
+        for p in pairs {
+            if let Some(prev) = skip_next_match {
+                if (p.value - prev).abs() <= 1e-9 * prev.abs().max(1.0) {
+                    skip_next_match = None;
+                    continue;
+                }
+            }
+            skip_next_match = Some(p.value);
+            values.push(p.value);
+            vectors.push((0..n).map(|i| (p.vector[i], p.vector[n + i])).collect());
+        }
+        (values, vectors)
+    };
+
+    let lead = values.first().copied().unwrap_or(0.0).max(f64::MIN_POSITIVE);
+    let mut eigenvalues = Vec::new();
+    let mut eigenvectors = Vec::new();
+    for (v, vec) in values.into_iter().zip(vectors) {
+        if eigenvalues.len() == cfg.num_kernels || v <= 1e-9 * lead {
+            break;
+        }
+        eigenvalues.push(v);
+        eigenvectors.push(vec);
+    }
+    TccDecomposition { samples, eigenvalues, eigenvectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> OpticalConfig {
+        let mut c = OpticalConfig::default_32nm(16.0);
+        c.pupil_grid = 11; // keep tests fast
+        c
+    }
+
+    #[test]
+    fn pupil_samples_inside_disk() {
+        let s = pupil_samples(&cfg());
+        assert!(!s.is_empty());
+        for f in &s {
+            assert!(f.ux * f.ux + f.uy * f.uy <= 1.0 + 1e-9);
+        }
+        // Disk fill factor of the bounding square ≈ π/4.
+        let total = 11 * 11;
+        let ratio = s.len() as f64 / total as f64;
+        assert!(ratio > 0.6 && ratio < 0.95, "fill ratio {ratio}");
+    }
+
+    #[test]
+    fn tcc_is_psd_and_normalized() {
+        let (_samples, m, im) = build_tcc(&cfg());
+        // At nominal focus the imaginary part vanishes.
+        assert!(im.iter().all(|&v| v.abs() < 1e-14));
+        // Diagonal entries are source integrals over shifted pupils → in [0,1].
+        for i in 0..m.dim() {
+            let d = m.get(i, i);
+            assert!((0.0..=1.0 + 1e-9).contains(&d), "diag {d}");
+        }
+        // DC sample (0,0) sees the whole annulus inside the pupil → ≈ 1.
+        let samples = pupil_samples(&cfg());
+        let dc = samples
+            .iter()
+            .position(|f| f.ux.abs() < 1e-12 && f.uy.abs() < 1e-12)
+            .expect("dc sample present");
+        assert!((m.get(dc, dc) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decomposition_energy_concentrates_in_leading_kernels() {
+        let dec = decompose(&cfg());
+        assert!(dec.eigenvalues.len() >= 4, "got {}", dec.eigenvalues.len());
+        let total: f64 = dec.eigenvalues.iter().sum();
+        let top4: f64 = dec.eigenvalues.iter().take(4).sum();
+        assert!(top4 / total > 0.3, "leading kernels too weak: {top4}/{total}");
+        for v in &dec.eigenvalues {
+            assert!(*v >= 0.0, "negative eigenvalue {v}");
+        }
+    }
+
+    #[test]
+    fn eigenvectors_match_sample_count() {
+        let dec = decompose(&cfg());
+        for v in &dec.eigenvectors {
+            assert_eq!(v.len(), dec.samples.len());
+        }
+        assert_eq!(dec.eigenvalues.len(), dec.eigenvectors.len());
+    }
+
+    #[test]
+    fn decompose_is_deterministic() {
+        let a = decompose(&cfg());
+        let b = decompose(&cfg());
+        assert_eq!(a.eigenvalues, b.eigenvalues);
+        assert_eq!(a.eigenvectors, b.eigenvectors);
+    }
+
+    #[test]
+    fn nominal_focus_vectors_are_real() {
+        let dec = decompose(&cfg());
+        for v in &dec.eigenvectors {
+            assert!(v.iter().all(|&(_, im)| im == 0.0));
+        }
+    }
+
+    #[test]
+    fn defocus_produces_hermitian_tcc_with_complex_kernels() {
+        let c = cfg().with_defocus(80.0);
+        let (_s, _re, im) = build_tcc(&c);
+        assert!(im.iter().any(|&v| v.abs() > 1e-9), "defocus left TCC real");
+        let dec = decompose(&c);
+        assert!(!dec.eigenvalues.is_empty());
+        // Eigenvalues still nonnegative and descending.
+        for w in dec.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9);
+        }
+        assert!(dec.eigenvalues.iter().all(|&v| v >= -1e-9));
+        // At least one kernel coefficient picks up an imaginary part.
+        let any_complex = dec
+            .eigenvectors
+            .iter()
+            .flatten()
+            .any(|&(_, im)| im.abs() > 1e-9);
+        assert!(any_complex, "defocused kernels should be complex");
+    }
+
+    #[test]
+    fn defocus_embedding_satisfies_eigen_equation() {
+        // Verify H v = λ v for the complex decomposition.
+        let c = cfg().with_defocus(60.0);
+        let (samples, re, im) = build_tcc(&c);
+        let n = samples.len();
+        let dec = decompose(&c);
+        for (k, (&lambda, vec)) in
+            dec.eigenvalues.iter().zip(&dec.eigenvectors).enumerate().take(4).map(|(k, p)| (k, p))
+        {
+            for i in 0..n {
+                let mut hr = 0.0;
+                let mut hi = 0.0;
+                for j in 0..n {
+                    let a = re.get(i, j);
+                    let b = im[i * n + j];
+                    let (vr, vi) = vec[j];
+                    // (a + ib)(vr + ivi)
+                    hr += a * vr - b * vi;
+                    hi += a * vi + b * vr;
+                }
+                let (vr, vi) = vec[i];
+                assert!(
+                    (hr - lambda * vr).abs() < 1e-6,
+                    "kernel {k} row {i}: re {hr} vs {}",
+                    lambda * vr
+                );
+                assert!(
+                    (hi - lambda * vi).abs() < 1e-6,
+                    "kernel {k} row {i}: im {hi} vs {}",
+                    lambda * vi
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn larger_source_grid_changes_little() {
+        // Sanity: spectral energy (trace) is stable under source refinement.
+        let base = cfg();
+        let dec1 = decompose(&base);
+        let mut finer = base.clone();
+        finer.pupil_grid = 13;
+        let dec2 = decompose(&finer);
+        let sum1: f64 = dec1.eigenvalues.iter().sum();
+        let sum2: f64 = dec2.eigenvalues.iter().sum();
+        // Trace scales with the number of in-disk samples; compare per-sample.
+        let t1 = sum1 / dec1.samples.len() as f64;
+        let t2 = sum2 / dec2.samples.len() as f64;
+        assert!((t1 - t2).abs() / t1 < 0.25, "t1={t1} t2={t2}");
+    }
+}

@@ -1,0 +1,261 @@
+//! Binary checkpoint format for parameter snapshots.
+//!
+//! A deliberately tiny, dependency-free format for persisting the
+//! `Vec<Tensor>` snapshots produced by
+//! [`Sequential::export_params`](crate::layers::Sequential::export_params):
+//!
+//! ```text
+//! magic   "GANOPCKP"            8 bytes
+//! version u32 le                4 bytes
+//! count   u32 le                4 bytes
+//! per tensor:
+//!   rank  u32 le
+//!   dims  rank × u64 le
+//!   data  prod(dims) × f32 le
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use ganopc_nn::{checkpoint, Tensor};
+//! # fn main() -> Result<(), ganopc_nn::checkpoint::CheckpointError> {
+//! let snapshot = vec![Tensor::filled(&[2, 3], 0.5)];
+//! let bytes = checkpoint::to_bytes(&snapshot);
+//! let restored = checkpoint::from_bytes(&bytes)?;
+//! assert_eq!(restored, snapshot);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::Tensor;
+use std::error::Error;
+use std::fmt;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"GANOPCKP";
+const VERSION: u32 = 1;
+
+/// Errors from checkpoint encoding/decoding.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The blob does not start with the checkpoint magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// The blob ended early or contains inconsistent sizes.
+    Truncated(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a gan-opc checkpoint (bad magic)"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Truncated(msg) => write!(f, "corrupt checkpoint: {msg}"),
+            CheckpointError::Io(e) => write!(f, "i/o failure: {e}"),
+        }
+    }
+}
+
+impl Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Serializes a snapshot into bytes.
+pub fn to_bytes(tensors: &[Tensor]) -> Vec<u8> {
+    let payload: usize = tensors
+        .iter()
+        .map(|t| 4 + 8 * t.shape().len() + 4 * t.len())
+        .sum();
+    let mut out = Vec::with_capacity(16 + payload);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(tensors.len() as u32).to_le_bytes());
+    for t in tensors {
+        out.extend_from_slice(&(t.shape().len() as u32).to_le_bytes());
+        for &d in t.shape() {
+            out.extend_from_slice(&(d as u64).to_le_bytes());
+        }
+        for &v in t.as_slice() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Deserializes a snapshot from bytes.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] on malformed input.
+pub fn from_bytes(bytes: &[u8]) -> Result<Vec<Tensor>, CheckpointError> {
+    let mut cursor = 0usize;
+    let take = |cursor: &mut usize, n: usize| -> Result<&[u8], CheckpointError> {
+        let end = cursor
+            .checked_add(n)
+            .filter(|&e| e <= bytes.len())
+            .ok_or_else(|| CheckpointError::Truncated(format!("need {n} bytes at {cursor}")))?;
+        let slice = &bytes[*cursor..end];
+        *cursor = end;
+        Ok(slice)
+    };
+    if take(&mut cursor, 8)? != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = u32::from_le_bytes(take(&mut cursor, 4)?.try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let count = u32::from_le_bytes(take(&mut cursor, 4)?.try_into().expect("4 bytes")) as usize;
+    let mut tensors = Vec::with_capacity(count);
+    for i in 0..count {
+        let rank =
+            u32::from_le_bytes(take(&mut cursor, 4)?.try_into().expect("4 bytes")) as usize;
+        if rank == 0 || rank > 8 {
+            return Err(CheckpointError::Truncated(format!("tensor {i}: rank {rank}")));
+        }
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            let d = u64::from_le_bytes(take(&mut cursor, 8)?.try_into().expect("8 bytes"));
+            if d == 0 || d > u32::MAX as u64 {
+                return Err(CheckpointError::Truncated(format!("tensor {i}: dim {d}")));
+            }
+            shape.push(d as usize);
+        }
+        let len: usize = shape.iter().product();
+        let raw = take(&mut cursor, 4 * len)?;
+        let data: Vec<f32> = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        tensors.push(Tensor::from_vec(&shape, data));
+    }
+    if cursor != bytes.len() {
+        return Err(CheckpointError::Truncated(format!(
+            "{} trailing bytes",
+            bytes.len() - cursor
+        )));
+    }
+    Ok(tensors)
+}
+
+/// Writes a snapshot to a file.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn save<P: AsRef<Path>>(path: P, tensors: &[Tensor]) -> Result<(), CheckpointError> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(&to_bytes(tensors))?;
+    Ok(())
+}
+
+/// Reads a snapshot from a file.
+///
+/// # Errors
+///
+/// Propagates I/O failures and format errors.
+pub fn load<P: AsRef<Path>>(path: P) -> Result<Vec<Tensor>, CheckpointError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    from_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> Vec<Tensor> {
+        vec![
+            Tensor::from_vec(&[2, 3], vec![1.0, -2.0, 3.5, 0.0, f32::MIN_POSITIVE, 1e30]),
+            Tensor::filled(&[4], -0.25),
+            Tensor::from_vec(&[1, 2, 2, 1], vec![9.0, 8.0, 7.0, 6.0]),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let snap = snapshot();
+        let restored = from_bytes(&to_bytes(&snap)).unwrap();
+        assert_eq!(restored, snap);
+    }
+
+    #[test]
+    fn roundtrip_empty_snapshot() {
+        let restored = from_bytes(&to_bytes(&[])).unwrap();
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_file() {
+        let dir = std::env::temp_dir().join("ganopc-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        let snap = snapshot();
+        save(&path, &snap).unwrap();
+        assert_eq!(load(&path).unwrap(), snap);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(matches!(from_bytes(b"NOTACKPT\0\0\0\0"), Err(CheckpointError::BadMagic)));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = to_bytes(&snapshot());
+        bytes[8] = 99;
+        assert!(matches!(from_bytes(&bytes), Err(CheckpointError::BadVersion(_))));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = to_bytes(&snapshot());
+        for cut in [10, 20, bytes.len() - 1] {
+            assert!(
+                matches!(from_bytes(&bytes[..cut]), Err(CheckpointError::Truncated(_))),
+                "cut at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = to_bytes(&snapshot());
+        bytes.push(0);
+        assert!(matches!(from_bytes(&bytes), Err(CheckpointError::Truncated(_))));
+    }
+
+    #[test]
+    fn network_checkpoint_roundtrip() {
+        use crate::layers::{BatchNorm2d, Conv2d, Sequential};
+        let mut net = Sequential::new();
+        net.push(Conv2d::new(1, 2, 3, 1, 1, 7));
+        net.push(BatchNorm2d::new(2));
+        // Train-mode forward to move the running statistics.
+        let x = crate::init::uniform(&[2, 1, 4, 4], 0.0, 1.0, 3);
+        let _ = net.forward(&x, true);
+        let snap = net.export_params();
+        let restored = from_bytes(&to_bytes(&snap)).unwrap();
+        let mut net2 = Sequential::new();
+        net2.push(Conv2d::new(1, 2, 3, 1, 1, 99));
+        net2.push(BatchNorm2d::new(2));
+        net2.import_params(&restored).unwrap();
+        assert_eq!(net2.forward(&x, false), net.forward(&x, false));
+    }
+}

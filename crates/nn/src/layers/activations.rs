@@ -1,0 +1,179 @@
+//! Element-wise activations.
+
+use super::{Layer, Param};
+use crate::Tensor;
+
+macro_rules! activation_layer {
+    ($(#[$doc:meta])* $name:ident, cache_output: $cache_out:expr,
+     fwd: $fwd:expr, bwd: $bwd:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            cache: Option<Tensor>,
+        }
+
+        impl $name {
+            /// Creates the activation.
+            pub fn new() -> Self {
+                Self { cache: None }
+            }
+        }
+
+        impl Layer for $name {
+            fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+                let fwd: fn(f32) -> f32 = $fwd;
+                let out = input.map(fwd);
+                self.cache = Some(if $cache_out { out.clone() } else { input.clone() });
+                out
+            }
+
+            fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+                let cached = self.cache.as_ref().expect("backward before forward");
+                assert_eq!(cached.shape(), grad_out.shape(), "activation grad shape mismatch");
+                let bwd: fn(f32) -> f32 = $bwd;
+                let data = cached
+                    .as_slice()
+                    .iter()
+                    .zip(grad_out.as_slice())
+                    .map(|(&c, &g)| g * bwd(c))
+                    .collect();
+                Tensor::from_vec(grad_out.shape(), data)
+            }
+
+            fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+            fn describe(&self) -> String {
+                stringify!($name).to_string()
+            }
+        }
+    };
+}
+
+activation_layer!(
+    /// Rectified linear unit `max(0, x)`.
+    Relu,
+    cache_output: false,
+    fwd: |x| if x > 0.0 { x } else { 0.0 },
+    bwd: |x| if x > 0.0 { 1.0 } else { 0.0 }
+);
+
+activation_layer!(
+    /// Logistic sigmoid `1/(1+e^{-x})` — output nonlinearity of both the
+    /// generator (mask pixels) and the discriminator (probability).
+    Sigmoid,
+    cache_output: true,
+    fwd: |x| 1.0 / (1.0 + (-x).exp()),
+    bwd: |y| y * (1.0 - y)
+);
+
+activation_layer!(
+    /// Hyperbolic tangent.
+    Tanh,
+    cache_output: true,
+    fwd: |x| x.tanh(),
+    bwd: |y| 1.0 - y * y
+);
+
+/// Leaky ReLU with configurable negative slope (GAN discriminators
+/// conventionally use 0.2).
+#[derive(Debug)]
+pub struct LeakyRelu {
+    slope: f32,
+    cache: Option<Tensor>,
+}
+
+impl LeakyRelu {
+    /// Creates a leaky ReLU; `slope` is the gradient for negative inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= slope < 1`.
+    pub fn new(slope: f32) -> Self {
+        assert!((0.0..1.0).contains(&slope), "slope {slope} out of [0,1)");
+        LeakyRelu { slope, cache: None }
+    }
+}
+
+impl Default for LeakyRelu {
+    fn default() -> Self {
+        LeakyRelu::new(0.2)
+    }
+}
+
+impl Layer for LeakyRelu {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let s = self.slope;
+        let out = input.map(|x| if x > 0.0 { x } else { s * x });
+        self.cache = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cache.as_ref().expect("backward before forward");
+        let s = self.slope;
+        let data = input
+            .as_slice()
+            .iter()
+            .zip(grad_out.as_slice())
+            .map(|(&x, &g)| if x > 0.0 { g } else { s * g })
+            .collect();
+        Tensor::from_vec(grad_out.shape(), data)
+    }
+
+    fn describe(&self) -> String {
+        format!("LeakyRelu({})", self.slope)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::gradcheck;
+    use super::*;
+    use crate::init;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut r = Relu::new();
+        let y = r.forward(&Tensor::from_vec(&[4], vec![-1.0, 0.0, 0.5, 2.0]), true);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 0.5, 2.0]);
+    }
+
+    #[test]
+    fn sigmoid_range_and_midpoint() {
+        let mut s = Sigmoid::new();
+        let y = s.forward(&Tensor::from_vec(&[3], vec![-10.0, 0.0, 10.0]), true);
+        assert!(y.as_slice()[0] < 1e-4);
+        assert!((y.as_slice()[1] - 0.5).abs() < 1e-6);
+        assert!(y.as_slice()[2] > 1.0 - 1e-4);
+    }
+
+    #[test]
+    fn tanh_is_odd() {
+        let mut t = Tanh::new();
+        let y = t.forward(&Tensor::from_vec(&[2], vec![-1.3, 1.3]), true);
+        assert!((y.as_slice()[0] + y.as_slice()[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn leaky_scales_negative_side() {
+        let mut l = LeakyRelu::new(0.1);
+        let y = l.forward(&Tensor::from_vec(&[2], vec![-2.0, 2.0]), true);
+        assert_eq!(y.as_slice(), &[-0.2, 2.0]);
+    }
+
+    #[test]
+    fn all_gradients_check_out() {
+        // Probe away from the ReLU kink (uniform over ±1 rarely lands on 0).
+        let x = init::uniform(&[2, 3, 4, 4], -1.0, 1.0, 20);
+        gradcheck::check_input_gradient(&mut Relu::new(), &x, 0.05);
+        gradcheck::check_input_gradient(&mut Sigmoid::new(), &x, 0.02);
+        gradcheck::check_input_gradient(&mut Tanh::new(), &x, 0.02);
+        gradcheck::check_input_gradient(&mut LeakyRelu::new(0.2), &x, 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1)")]
+    fn leaky_rejects_bad_slope() {
+        let _ = LeakyRelu::new(1.5);
+    }
+}

@@ -1,0 +1,362 @@
+//! 2-D convolution and transposed convolution.
+
+use super::{col2im, conv_out_size, deconv_out_size, im2col, Layer, Param};
+use crate::tensor::{matmul, matmul_nt, matmul_tn};
+use crate::{init, Tensor};
+
+/// 2-D convolution over `[N, C, H, W]` tensors.
+///
+/// Weight layout is `[out_ch, in_ch, k, k]`; He-normal initialized from the
+/// given seed; bias starts at zero. Stride/padding follow the usual
+/// deep-learning (flooring) conventions.
+///
+/// ```
+/// use ganopc_nn::{layers::{Conv2d, Layer}, Tensor};
+/// let mut conv = Conv2d::new(3, 8, 4, 2, 1, 42); // halves H and W
+/// let y = conv.forward(&Tensor::zeros(&[1, 3, 16, 16]), true);
+/// assert_eq!(y.shape(), &[1, 8, 8, 8]);
+/// ```
+pub struct Conv2d {
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    weight: Param,
+    bias: Param,
+    /// Cached per-batch-item column matrices from the last forward.
+    cache_cols: Vec<Vec<f32>>,
+    cache_in_shape: Option<(usize, usize, usize, usize)>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero channels, kernel or stride.
+    pub fn new(in_ch: usize, out_ch: usize, k: usize, stride: usize, pad: usize, seed: u64) -> Self {
+        assert!(in_ch > 0 && out_ch > 0 && k > 0 && stride > 0, "degenerate conv geometry");
+        Conv2d {
+            in_ch,
+            out_ch,
+            k,
+            stride,
+            pad,
+            weight: Param::new(init::he_normal(&[out_ch, in_ch, k, k], seed)),
+            bias: Param::new(Tensor::zeros(&[out_ch])),
+            cache_cols: Vec::new(),
+            cache_in_shape: None,
+        }
+    }
+
+    /// Output shape for a given input shape.
+    pub fn output_shape(&self, n: usize, h: usize, w: usize) -> [usize; 4] {
+        [
+            n,
+            self.out_ch,
+            conv_out_size(h, self.k, self.stride, self.pad),
+            conv_out_size(w, self.k, self.stride, self.pad),
+        ]
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let (n, c, h, w) = input.dims4();
+        assert_eq!(c, self.in_ch, "Conv2d expects {} input channels, got {c}", self.in_ch);
+        let oh = conv_out_size(h, self.k, self.stride, self.pad);
+        let ow = conv_out_size(w, self.k, self.stride, self.pad);
+        let ckk = self.in_ch * self.k * self.k;
+        let plane = oh * ow;
+        let mut out = Tensor::zeros(&[n, self.out_ch, oh, ow]);
+        self.cache_cols.clear();
+        for ni in 0..n {
+            let img = &input.as_slice()[ni * c * h * w..(ni + 1) * c * h * w];
+            let cols = im2col(img, c, h, w, self.k, self.stride, self.pad);
+            let y = matmul(self.weight.value.as_slice(), &cols, self.out_ch, ckk, plane);
+            let dst = &mut out.as_mut_slice()[ni * self.out_ch * plane..(ni + 1) * self.out_ch * plane];
+            dst.copy_from_slice(&y);
+            for oc in 0..self.out_ch {
+                let b = self.bias.value.as_slice()[oc];
+                for v in &mut dst[oc * plane..(oc + 1) * plane] {
+                    *v += b;
+                }
+            }
+            self.cache_cols.push(cols);
+        }
+        self.cache_in_shape = Some((n, c, h, w));
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (n, c, h, w) = self.cache_in_shape.expect("backward before forward");
+        let (gn, gc, oh, ow) = grad_out.dims4();
+        assert_eq!((gn, gc), (n, self.out_ch), "grad_out batch/channel mismatch");
+        let ckk = self.in_ch * self.k * self.k;
+        let plane = oh * ow;
+        let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+        for ni in 0..n {
+            let go = &grad_out.as_slice()[ni * self.out_ch * plane..(ni + 1) * self.out_ch * plane];
+            let cols = &self.cache_cols[ni];
+            // dW += gO · colsᵀ ; cols is [ckk × plane], gO is [oc × plane].
+            let dw = matmul_nt(go, cols, self.out_ch, plane, ckk);
+            for (g, d) in self.weight.grad.as_mut_slice().iter_mut().zip(&dw) {
+                *g += d;
+            }
+            // db += Σ_spatial gO.
+            for oc in 0..self.out_ch {
+                let s: f32 = go[oc * plane..(oc + 1) * plane].iter().sum();
+                self.bias.grad.as_mut_slice()[oc] += s;
+            }
+            // d cols = Wᵀ · gO; W stored [oc × ckk].
+            let dcols = matmul_tn(self.weight.value.as_slice(), go, ckk, self.out_ch, plane);
+            let dimg = col2im(&dcols, c, h, w, self.k, self.stride, self.pad);
+            grad_in.as_mut_slice()[ni * c * h * w..(ni + 1) * c * h * w].copy_from_slice(&dimg);
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "Conv2d({}→{}, k={}, s={}, p={})",
+            self.in_ch, self.out_ch, self.k, self.stride, self.pad
+        )
+    }
+}
+
+/// 2-D transposed convolution ("deconvolution", the decoder upsampling
+/// operation of Fig. 3/4 in the paper).
+///
+/// Weight layout is `[in_ch, out_ch, k, k]` (mirroring the usual
+/// transposed-conv convention); output size is `(in−1)·s − 2p + k`.
+///
+/// ```
+/// use ganopc_nn::{layers::{ConvTranspose2d, Layer}, Tensor};
+/// let mut up = ConvTranspose2d::new(8, 4, 4, 2, 1, 7); // doubles H and W
+/// let y = up.forward(&Tensor::zeros(&[1, 8, 8, 8]), true);
+/// assert_eq!(y.shape(), &[1, 4, 16, 16]);
+/// ```
+pub struct ConvTranspose2d {
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    weight: Param,
+    bias: Param,
+    cache_input: Option<Tensor>,
+}
+
+impl ConvTranspose2d {
+    /// Creates a transposed-convolution layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero channels, kernel or stride.
+    pub fn new(in_ch: usize, out_ch: usize, k: usize, stride: usize, pad: usize, seed: u64) -> Self {
+        assert!(in_ch > 0 && out_ch > 0 && k > 0 && stride > 0, "degenerate deconv geometry");
+        ConvTranspose2d {
+            in_ch,
+            out_ch,
+            k,
+            stride,
+            pad,
+            weight: Param::new(init::he_normal(&[in_ch, out_ch, k, k], seed)),
+            bias: Param::new(Tensor::zeros(&[out_ch])),
+            cache_input: None,
+        }
+    }
+
+    /// Output shape for a given input shape.
+    pub fn output_shape(&self, n: usize, h: usize, w: usize) -> [usize; 4] {
+        [
+            n,
+            self.out_ch,
+            deconv_out_size(h, self.k, self.stride, self.pad),
+            deconv_out_size(w, self.k, self.stride, self.pad),
+        ]
+    }
+}
+
+impl Layer for ConvTranspose2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let (n, c, ih, iw) = input.dims4();
+        assert_eq!(c, self.in_ch, "ConvTranspose2d expects {} channels, got {c}", self.in_ch);
+        let oh = deconv_out_size(ih, self.k, self.stride, self.pad);
+        let ow = deconv_out_size(iw, self.k, self.stride, self.pad);
+        let okk = self.out_ch * self.k * self.k;
+        let in_plane = ih * iw;
+        let out_plane = oh * ow;
+        let mut out = Tensor::zeros(&[n, self.out_ch, oh, ow]);
+        for ni in 0..n {
+            let x = &input.as_slice()[ni * c * in_plane..(ni + 1) * c * in_plane];
+            // cols [okk × in_plane] = Wᵀ · x, with W stored [in_ch × okk].
+            let cols = matmul_tn(self.weight.value.as_slice(), x, okk, self.in_ch, in_plane);
+            // Scatter back onto the (larger) output grid: transposed conv is
+            // the adjoint of a conv from [oh×ow] down to [ih×iw].
+            let y = col2im(&cols, self.out_ch, oh, ow, self.k, self.stride, self.pad);
+            let dst = &mut out.as_mut_slice()[ni * self.out_ch * out_plane..(ni + 1) * self.out_ch * out_plane];
+            dst.copy_from_slice(&y);
+            for oc in 0..self.out_ch {
+                let b = self.bias.value.as_slice()[oc];
+                for v in &mut dst[oc * out_plane..(oc + 1) * out_plane] {
+                    *v += b;
+                }
+            }
+        }
+        self.cache_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cache_input.as_ref().expect("backward before forward");
+        let (n, c, ih, iw) = input.dims4();
+        let (_gn, _gc, oh, ow) = grad_out.dims4();
+        let okk = self.out_ch * self.k * self.k;
+        let in_plane = ih * iw;
+        let out_plane = oh * ow;
+        let mut grad_in = Tensor::zeros(&[n, c, ih, iw]);
+        for ni in 0..n {
+            let go = &grad_out.as_slice()[ni * self.out_ch * out_plane..(ni + 1) * self.out_ch * out_plane];
+            // Adjoint of the forward scatter: gather with im2col.
+            let gcols = im2col(go, self.out_ch, oh, ow, self.k, self.stride, self.pad);
+            debug_assert_eq!(gcols.len(), okk * in_plane);
+            // grad_in [in_ch × in_plane] = W · gcols.
+            let gi = matmul(self.weight.value.as_slice(), &gcols, self.in_ch, okk, in_plane);
+            grad_in.as_mut_slice()[ni * c * in_plane..(ni + 1) * c * in_plane].copy_from_slice(&gi);
+            // dW [in_ch × okk] += x · gcolsᵀ.
+            let x = &input.as_slice()[ni * c * in_plane..(ni + 1) * c * in_plane];
+            let dw = matmul_nt(x, &gcols, self.in_ch, in_plane, okk);
+            for (g, d) in self.weight.grad.as_mut_slice().iter_mut().zip(&dw) {
+                *g += d;
+            }
+            for oc in 0..self.out_ch {
+                let s: f32 = go[oc * out_plane..(oc + 1) * out_plane].iter().sum();
+                self.bias.grad.as_mut_slice()[oc] += s;
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "ConvTranspose2d({}→{}, k={}, s={}, p={})",
+            self.in_ch, self.out_ch, self.k, self.stride, self.pad
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::gradcheck;
+    use super::*;
+
+    #[test]
+    fn conv_identity_kernel_passthrough() {
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, 0);
+        conv.weight.value = Tensor::from_vec(&[1, 1, 1, 1], vec![1.0]);
+        let x = init::uniform(&[1, 1, 4, 4], -1.0, 1.0, 3);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn conv_known_3x3_sum_kernel() {
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, 0);
+        conv.weight.value = Tensor::filled(&[1, 1, 3, 3], 1.0);
+        let x = Tensor::filled(&[1, 1, 3, 3], 1.0);
+        let y = conv.forward(&x, true);
+        // Center pixel sums 9 ones; corners see only 4.
+        assert_eq!(y.at(&[0, 0, 1, 1]), 9.0);
+        assert_eq!(y.at(&[0, 0, 0, 0]), 4.0);
+        assert_eq!(y.at(&[0, 0, 0, 1]), 6.0);
+    }
+
+    #[test]
+    fn conv_bias_applied_per_channel() {
+        let mut conv = Conv2d::new(1, 2, 1, 1, 0, 1);
+        conv.weight.value = Tensor::from_vec(&[2, 1, 1, 1], vec![0.0, 0.0]);
+        conv.bias.value = Tensor::from_vec(&[2], vec![1.5, -2.0]);
+        let y = conv.forward(&Tensor::zeros(&[1, 1, 2, 2]), true);
+        assert_eq!(y.at(&[0, 0, 1, 1]), 1.5);
+        assert_eq!(y.at(&[0, 1, 0, 0]), -2.0);
+    }
+
+    #[test]
+    fn conv_gradients_check_out() {
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, 5);
+        let x = init::uniform(&[2, 2, 5, 5], -1.0, 1.0, 8);
+        gradcheck::check_input_gradient(&mut conv, &x, 0.03);
+        gradcheck::check_param_gradients(&mut conv, &x, 0.03);
+    }
+
+    #[test]
+    fn strided_conv_gradients_check_out() {
+        let mut conv = Conv2d::new(1, 2, 4, 2, 1, 6);
+        let x = init::uniform(&[1, 1, 8, 8], -1.0, 1.0, 9);
+        gradcheck::check_input_gradient(&mut conv, &x, 0.03);
+        gradcheck::check_param_gradients(&mut conv, &x, 0.03);
+    }
+
+    #[test]
+    fn deconv_upsamples_shape() {
+        let mut up = ConvTranspose2d::new(2, 1, 4, 2, 1, 3);
+        let x = Tensor::zeros(&[2, 2, 4, 4]);
+        let y = up.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 1, 8, 8]);
+    }
+
+    #[test]
+    fn deconv_gradients_check_out() {
+        let mut up = ConvTranspose2d::new(2, 2, 4, 2, 1, 4);
+        let x = init::uniform(&[1, 2, 4, 4], -1.0, 1.0, 10);
+        gradcheck::check_input_gradient(&mut up, &x, 0.03);
+        gradcheck::check_param_gradients(&mut up, &x, 0.03);
+    }
+
+    #[test]
+    fn deconv_is_adjoint_of_conv() {
+        // With shared weights, ⟨conv(x), y⟩ == ⟨x, deconv(y)⟩ when deconv's
+        // [in,out] axes mirror conv's [out,in] — the defining relationship.
+        let k = 3;
+        let (s, p) = (1usize, 1usize);
+        let mut conv = Conv2d::new(1, 1, k, s, p, 11);
+        let mut deconv = ConvTranspose2d::new(1, 1, k, s, p, 12);
+        deconv.weight.value = conv.weight.value.clone().reshape(&[1, 1, k, k]);
+        deconv.bias.value = Tensor::zeros(&[1]);
+        conv.bias.value = Tensor::zeros(&[1]);
+        let x = init::uniform(&[1, 1, 6, 6], -1.0, 1.0, 13);
+        let y = init::uniform(&[1, 1, 6, 6], -1.0, 1.0, 14);
+        let cx = conv.forward(&x, true);
+        let dy = deconv.forward(&y, true);
+        let lhs: f64 = cx.as_slice().iter().zip(y.as_slice()).map(|(&a, &b)| a as f64 * b as f64).sum();
+        let rhs: f64 = x.as_slice().iter().zip(dy.as_slice()).map(|(&a, &b)| a as f64 * b as f64).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn conv_backward_requires_forward() {
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, 0);
+        let _ = conv.backward(&Tensor::zeros(&[1, 1, 4, 4]));
+    }
+
+    #[test]
+    fn output_shape_helpers() {
+        let conv = Conv2d::new(3, 16, 4, 2, 1, 0);
+        assert_eq!(conv.output_shape(2, 32, 32), [2, 16, 16, 16]);
+        let up = ConvTranspose2d::new(16, 3, 4, 2, 1, 0);
+        assert_eq!(up.output_shape(2, 16, 16), [2, 3, 32, 32]);
+    }
+}

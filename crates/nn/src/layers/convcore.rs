@@ -1,0 +1,182 @@
+//! im2col / col2im primitives shared by convolution and transposed
+//! convolution.
+
+/// Output spatial size of a convolution: `⌊(in + 2·pad − k) / stride⌋ + 1`
+/// (flooring, as deep-learning frameworks do).
+///
+/// # Panics
+///
+/// Panics when the kernel exceeds the padded input.
+pub fn conv_out_size(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    let padded = input + 2 * pad;
+    assert!(padded >= kernel, "kernel {kernel} exceeds padded input {padded}");
+    (padded - kernel) / stride + 1
+}
+
+/// Output spatial size of a transposed convolution:
+/// `(in − 1)·stride − 2·pad + k`.
+///
+/// # Panics
+///
+/// Panics when the result would be non-positive.
+pub fn deconv_out_size(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    let grown = (input - 1) * stride + kernel;
+    assert!(grown > 2 * pad, "deconv geometry collapses: in={input} k={kernel} s={stride} p={pad}");
+    grown - 2 * pad
+}
+
+/// Unfolds one `[C, H, W]` image into a `[(C·k·k) × (OH·OW)]` column matrix
+/// for stride-`s`, zero-pad-`p` convolution with a `k × k` kernel.
+pub fn im2col(
+    input: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    s: usize,
+    p: usize,
+) -> Vec<f32> {
+    debug_assert_eq!(input.len(), c * h * w);
+    let oh = conv_out_size(h, k, s, p);
+    let ow = conv_out_size(w, k, s, p);
+    let mut cols = vec![0.0f32; c * k * k * oh * ow];
+    let out_plane = oh * ow;
+    for ci in 0..c {
+        let img = &input[ci * h * w..(ci + 1) * h * w];
+        for kh in 0..k {
+            for kw in 0..k {
+                let row = ((ci * k + kh) * k + kw) * out_plane;
+                for oy in 0..oh {
+                    let iy = (oy * s + kh) as isize - p as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let src_row = iy as usize * w;
+                    let dst_row = row + oy * ow;
+                    for ox in 0..ow {
+                        let ix = (ox * s + kw) as isize - p as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        cols[dst_row + ox] = img[src_row + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    cols
+}
+
+/// Folds a `[(C·k·k) × (OH·OW)]` column matrix back into a `[C, H, W]`
+/// image by scatter-add — the adjoint of [`im2col`].
+#[allow(clippy::too_many_arguments)]
+pub fn col2im(
+    cols: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    s: usize,
+    p: usize,
+) -> Vec<f32> {
+    let oh = conv_out_size(h, k, s, p);
+    let ow = conv_out_size(w, k, s, p);
+    debug_assert_eq!(cols.len(), c * k * k * oh * ow);
+    let mut img = vec![0.0f32; c * h * w];
+    let out_plane = oh * ow;
+    for ci in 0..c {
+        let dst = &mut img[ci * h * w..(ci + 1) * h * w];
+        for kh in 0..k {
+            for kw in 0..k {
+                let row = ((ci * k + kh) * k + kw) * out_plane;
+                for oy in 0..oh {
+                    let iy = (oy * s + kh) as isize - p as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let dst_row = iy as usize * w;
+                    let src_row = row + oy * ow;
+                    for ox in 0..ow {
+                        let ix = (ox * s + kw) as isize - p as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        dst[dst_row + ix as usize] += cols[src_row + ox];
+                    }
+                }
+            }
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(conv_out_size(8, 3, 1, 1), 8);
+        assert_eq!(conv_out_size(8, 3, 2, 1), 4); // floors (8+2-3)/2 + 1
+        assert_eq!(conv_out_size(8, 4, 2, 1), 4); // exact
+        assert_eq!(deconv_out_size(4, 3, 2, 1), 7);
+        assert_eq!(deconv_out_size(4, 4, 2, 1), 8);
+        assert_eq!(deconv_out_size(4, 2, 2, 0), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds padded input")]
+    fn conv_size_rejects_oversized_kernel() {
+        let _ = conv_out_size(2, 8, 1, 1);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // k=1, s=1, p=0 ⇒ cols equal the input.
+        let input: Vec<f32> = (0..2 * 3 * 3).map(|i| i as f32).collect();
+        let cols = im2col(&input, 2, 3, 3, 1, 1, 0);
+        assert_eq!(cols, input);
+    }
+
+    #[test]
+    fn im2col_3x3_padded_center_tap() {
+        // Single channel 2x2 image, k=3, s=1, p=1: the center tap row
+        // (kh=1,kw=1) reproduces the image.
+        let input = vec![1.0, 2.0, 3.0, 4.0];
+        let cols = im2col(&input, 1, 2, 2, 3, 1, 1);
+        let plane = 4;
+        let center = ((1 * 3) + 1) * plane;
+        assert_eq!(&cols[center..center + 4], &input[..]);
+        // Top-left tap (kh=0,kw=0) sees zero padding except at (1,1) where
+        // it reads input (0,0).
+        assert_eq!(&cols[0..4], &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // ⟨im2col(x), y⟩ == ⟨x, col2im(y)⟩ for all x, y — the defining
+        // property the conv backward pass relies on.
+        let (c, h, w, k, s, p) = (2usize, 5, 4, 3, 1, 1);
+        let oh = conv_out_size(h, k, s, p);
+        let ow = conv_out_size(w, k, s, p);
+        let x: Vec<f32> = (0..c * h * w).map(|i| ((i * 37 % 11) as f32) - 5.0).collect();
+        let y: Vec<f32> =
+            (0..c * k * k * oh * ow).map(|i| ((i * 61 % 13) as f32) * 0.25 - 1.0).collect();
+        let ax: Vec<f32> = im2col(&x, c, h, w, k, s, p);
+        let aty: Vec<f32> = col2im(&y, c, h, w, k, s, p);
+        let lhs: f64 = ax.iter().zip(&y).map(|(&a, &b)| a as f64 * b as f64).sum();
+        let rhs: f64 = x.iter().zip(&aty).map(|(&a, &b)| a as f64 * b as f64).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn strided_im2col_samples_every_other() {
+        // 1 channel 4x4, k=2, s=2, p=0 → 2x2 outputs; tap (0,0) reads the
+        // even-grid samples.
+        let input: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let cols = im2col(&input, 1, 4, 4, 2, 2, 0);
+        assert_eq!(&cols[0..4], &[0.0, 2.0, 8.0, 10.0]);
+    }
+}

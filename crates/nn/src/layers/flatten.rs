@@ -1,0 +1,70 @@
+//! Flattening between convolutional and dense stages.
+
+use super::{Layer, Param};
+use crate::Tensor;
+
+/// Flattens `[N, C, H, W]` to `[N, C·H·W]`; backward restores the shape.
+///
+/// ```
+/// use ganopc_nn::{layers::{Flatten, Layer}, Tensor};
+/// let mut f = Flatten::new();
+/// let y = f.forward(&Tensor::zeros(&[2, 3, 4, 4]), true);
+/// assert_eq!(y.shape(), &[2, 48]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Flatten {
+    cache_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { cache_shape: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let shape = input.shape().to_vec();
+        assert!(shape.len() >= 2, "flatten needs a batch dimension");
+        let n = shape[0];
+        let rest: usize = shape[1..].iter().product();
+        self.cache_shape = Some(shape);
+        input.clone().reshape(&[n, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.cache_shape.as_ref().expect("backward before forward");
+        grad_out.clone().reshape(shape)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn describe(&self) -> String {
+        "Flatten".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_data() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec(&[2, 2, 1, 3], (0..12).map(|i| i as f32).collect());
+        let y = f.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 6]);
+        assert_eq!(y.as_slice(), x.as_slice());
+        let g = f.backward(&y);
+        assert_eq!(g.shape(), x.shape());
+        assert_eq!(g.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_requires_forward() {
+        let mut f = Flatten::new();
+        let _ = f.backward(&Tensor::zeros(&[1, 4]));
+    }
+}

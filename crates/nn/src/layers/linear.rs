@@ -1,0 +1,129 @@
+//! Fully connected layer.
+
+use super::{Layer, Param};
+use crate::tensor::{matmul_nt, matmul_tn};
+use crate::{init, Tensor};
+
+/// A fully connected layer `y = x·Wᵀ + b` over `[N, in]` tensors.
+///
+/// Weight layout is `[out, in]` (each row maps the input to one output
+/// feature), Xavier-uniform initialized.
+///
+/// ```
+/// use ganopc_nn::{layers::{Layer, Linear}, Tensor};
+/// let mut fc = Linear::new(4, 2, 1);
+/// let y = fc.forward(&Tensor::zeros(&[3, 4]), true);
+/// assert_eq!(y.shape(), &[3, 2]);
+/// ```
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    weight: Param,
+    bias: Param,
+    cache_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a fully connected layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero feature counts.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        assert!(in_features > 0 && out_features > 0, "degenerate linear geometry");
+        Linear {
+            in_features,
+            out_features,
+            weight: Param::new(init::xavier_uniform(&[out_features, in_features], seed)),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            cache_input: None,
+        }
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let (n, f) = input.dims2();
+        assert_eq!(f, self.in_features, "Linear expects {} features, got {f}", self.in_features);
+        // y [n × out] = x [n × in] · Wᵀ, W stored [out × in].
+        let mut y = matmul_nt(
+            input.as_slice(),
+            self.weight.value.as_slice(),
+            n,
+            self.in_features,
+            self.out_features,
+        );
+        for row in y.chunks_exact_mut(self.out_features) {
+            for (v, &b) in row.iter_mut().zip(self.bias.value.as_slice()) {
+                *v += b;
+            }
+        }
+        self.cache_input = Some(input.clone());
+        Tensor::from_vec(&[n, self.out_features], y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cache_input.as_ref().expect("backward before forward");
+        let (n, _) = input.dims2();
+        let (gn, go) = grad_out.dims2();
+        assert_eq!((gn, go), (n, self.out_features), "grad_out shape mismatch");
+        // dW [out × in] += gOᵀ [out × n] · x [n × in].
+        let dw = matmul_tn(grad_out.as_slice(), input.as_slice(), self.out_features, n, self.in_features);
+        for (g, d) in self.weight.grad.as_mut_slice().iter_mut().zip(&dw) {
+            *g += d;
+        }
+        for row in grad_out.as_slice().chunks_exact(self.out_features) {
+            for (g, &v) in self.bias.grad.as_mut_slice().iter_mut().zip(row) {
+                *g += v;
+            }
+        }
+        // dx [n × in] = gO [n × out] · W [out × in].
+        let dx = crate::tensor::matmul(
+            grad_out.as_slice(),
+            self.weight.value.as_slice(),
+            n,
+            self.out_features,
+            self.in_features,
+        );
+        Tensor::from_vec(&[n, self.in_features], dx)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn describe(&self) -> String {
+        format!("Linear({}→{})", self.in_features, self.out_features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::gradcheck;
+    use super::*;
+
+    #[test]
+    fn known_affine_map() {
+        let mut fc = Linear::new(2, 2, 0);
+        fc.weight.value = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        fc.bias.value = Tensor::from_vec(&[2], vec![10.0, 20.0]);
+        let y = fc.forward(&Tensor::from_vec(&[1, 2], vec![1.0, 1.0]), true);
+        assert_eq!(y.as_slice(), &[13.0, 27.0]);
+    }
+
+    #[test]
+    fn gradients_check_out() {
+        let mut fc = Linear::new(5, 3, 2);
+        let x = init::uniform(&[4, 5], -1.0, 1.0, 3);
+        gradcheck::check_input_gradient(&mut fc, &x, 0.02);
+        gradcheck::check_param_gradients(&mut fc, &x, 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 5 features")]
+    fn rejects_wrong_width() {
+        let mut fc = Linear::new(5, 3, 2);
+        let _ = fc.forward(&Tensor::zeros(&[1, 4]), true);
+    }
+}

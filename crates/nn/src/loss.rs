@@ -1,0 +1,179 @@
+//! Losses with input gradients.
+//!
+//! The GAN-OPC objectives (paper Eq. (7)–(10) and Algorithm 1 lines 7–8)
+//! combine binary cross-entropy on discriminator probabilities with an L2
+//! (squared error) term pulling generated masks toward the reference masks.
+//! Both pieces live here as `(value, gradient)` pairs.
+
+use crate::Tensor;
+
+/// Mean squared error `Σ (a − b)² / N` and its gradient with respect to `a`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+///
+/// ```
+/// use ganopc_nn::{loss::mse, Tensor};
+/// let a = Tensor::from_vec(&[2], vec![1.0, 2.0]);
+/// let b = Tensor::from_vec(&[2], vec![0.0, 2.0]);
+/// let (value, grad) = mse(&a, &b);
+/// assert!((value - 0.5).abs() < 1e-6);
+/// assert_eq!(grad.as_slice(), &[1.0, 0.0]);
+/// ```
+pub fn mse(a: &Tensor, b: &Tensor) -> (f64, Tensor) {
+    assert_eq!(a.shape(), b.shape(), "mse shape mismatch");
+    let n = a.len() as f64;
+    let mut value = 0.0f64;
+    let grad: Vec<f32> = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| {
+            let d = x - y;
+            value += (d as f64) * (d as f64);
+            2.0 * d / n as f32
+        })
+        .collect();
+    (value / n, Tensor::from_vec(a.shape(), grad))
+}
+
+/// *Summed* squared error `Σ (a − b)²` and its gradient — the paper's
+/// `‖M* − M‖₂²` term (Algorithm 1 line 7) without averaging, so the α weight
+/// in the combined loss means the same thing it does in the paper.
+pub fn sum_squared_error(a: &Tensor, b: &Tensor) -> (f64, Tensor) {
+    assert_eq!(a.shape(), b.shape(), "sse shape mismatch");
+    let mut value = 0.0f64;
+    let grad: Vec<f32> = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| {
+            let d = x - y;
+            value += (d as f64) * (d as f64);
+            2.0 * d
+        })
+        .collect();
+    (value, Tensor::from_vec(a.shape(), grad))
+}
+
+/// Clamps a probability away from 0/1 so `log` stays finite.
+#[inline]
+fn clamp_p(p: f32) -> f32 {
+    p.clamp(1e-6, 1.0 - 1e-6)
+}
+
+/// Binary cross-entropy against constant label `y ∈ {0, 1}` on
+/// probabilities (post-sigmoid): mean of `−[y·log p + (1−y)·log(1−p)]`,
+/// plus the gradient with respect to `p`.
+///
+/// `bce_scalar_label(p, 1.0)` is the `−log D(·)` generator objective;
+/// `bce_scalar_label(p, 0.0)` is the `−log(1 − D(·))` discriminator term
+/// for generated samples.
+///
+/// # Panics
+///
+/// Panics unless `label` is exactly 0 or 1.
+pub fn bce_scalar_label(p: &Tensor, label: f32) -> (f64, Tensor) {
+    assert!(label == 0.0 || label == 1.0, "label must be 0 or 1");
+    let n = p.len() as f64;
+    let mut value = 0.0f64;
+    let grad: Vec<f32> = p
+        .as_slice()
+        .iter()
+        .map(|&raw| {
+            let pc = clamp_p(raw);
+            if label == 1.0 {
+                value += -(pc as f64).ln();
+                -1.0 / (pc * n as f32)
+            } else {
+                value += -((1.0 - pc) as f64).ln();
+                1.0 / ((1.0 - pc) * n as f32)
+            }
+        })
+        .collect();
+    (value / n, Tensor::from_vec(p.shape(), grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd_check(
+        f: &dyn Fn(&Tensor) -> (f64, Tensor),
+        x: &Tensor,
+        tol: f32,
+    ) {
+        let (_, grad) = f(x);
+        let eps = 1e-3f32;
+        for i in 0..x.len() {
+            let mut plus = x.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = x.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let fd = ((f(&plus).0 - f(&minus).0) / (2.0 * eps as f64)) as f32;
+            let an = grad.as_slice()[i];
+            assert!((fd - an).abs() < tol * fd.abs().max(an.abs()).max(1.0), "i={i}: {fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn mse_zero_at_match() {
+        let a = Tensor::from_vec(&[3], vec![1.0, -1.0, 0.5]);
+        let (v, g) = mse(&a, &a);
+        assert_eq!(v, 0.0);
+        assert!(g.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn mse_gradient_fd() {
+        let b = Tensor::from_vec(&[4], vec![0.1, 0.9, 0.4, -0.3]);
+        let x = Tensor::from_vec(&[4], vec![0.7, -0.2, 0.0, 0.5]);
+        fd_check(&|t| mse(t, &b), &x, 0.01);
+    }
+
+    #[test]
+    fn sse_is_n_times_mse() {
+        let a = Tensor::from_vec(&[4], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::zeros(&[4]);
+        let (m, _) = mse(&a, &b);
+        let (s, _) = sum_squared_error(&a, &b);
+        assert!((s - 4.0 * m).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sse_gradient_fd() {
+        let b = Tensor::from_vec(&[3], vec![0.3, -0.2, 0.8]);
+        let x = Tensor::from_vec(&[3], vec![0.5, 0.5, 0.5]);
+        fd_check(&|t| sum_squared_error(t, &b), &x, 0.01);
+    }
+
+    #[test]
+    fn bce_label_one_penalizes_low_probability() {
+        let near_one = Tensor::from_vec(&[1], vec![0.99]);
+        let near_zero = Tensor::from_vec(&[1], vec![0.01]);
+        assert!(bce_scalar_label(&near_one, 1.0).0 < bce_scalar_label(&near_zero, 1.0).0);
+        assert!(bce_scalar_label(&near_zero, 0.0).0 < bce_scalar_label(&near_one, 0.0).0);
+    }
+
+    #[test]
+    fn bce_gradients_fd_both_labels() {
+        let x = Tensor::from_vec(&[4], vec![0.2, 0.5, 0.7, 0.9]);
+        fd_check(&|t| bce_scalar_label(t, 1.0), &x, 0.01);
+        fd_check(&|t| bce_scalar_label(t, 0.0), &x, 0.01);
+    }
+
+    #[test]
+    fn bce_saturates_gracefully() {
+        let x = Tensor::from_vec(&[2], vec![0.0, 1.0]);
+        let (v1, g1) = bce_scalar_label(&x, 1.0);
+        assert!(v1.is_finite());
+        assert!(g1.as_slice().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "label must be 0 or 1")]
+    fn bce_rejects_soft_labels() {
+        let _ = bce_scalar_label(&Tensor::zeros(&[1]), 0.5);
+    }
+}

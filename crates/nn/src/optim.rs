@@ -1,0 +1,254 @@
+//! Optimizers.
+//!
+//! Both optimizers walk a network's parameters in the stable
+//! [`Sequential::visit_params`] order and keep per-parameter state indexed by
+//! that order, so they must always be used with the same network they were
+//! first stepped on.
+//!
+//! [`Sequential::visit_params`]: crate::layers::Sequential::visit_params
+
+use crate::layers::Sequential;
+use crate::Tensor;
+
+/// Stochastic gradient descent with classical momentum.
+///
+/// `v ← μ·v − λ·g ; w ← w + v` — with `μ = 0`, plain mini-batch SGD, which
+/// is exactly the paper's update rule `W ← W − (λ/m)·ΔW` (Algorithms 1–2)
+/// when the accumulated gradient is pre-divided by the mini-batch size.
+///
+/// ```
+/// use ganopc_nn::{layers::{Linear, Sequential}, optim::Sgd, Tensor};
+/// let mut net = Sequential::new();
+/// net.push(Linear::new(2, 1, 0));
+/// let mut opt = Sgd::new(0.1, 0.9);
+/// let x = Tensor::filled(&[1, 2], 1.0);
+/// let y = net.forward(&x, true);
+/// net.backward(&Tensor::filled(y.shape(), 1.0));
+/// opt.step(&mut net);
+/// ```
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lr > 0` and `0 <= momentum < 1`.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum {momentum} out of [0,1)");
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (for schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lr > 0`.
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one update using the gradients currently accumulated in
+    /// `net`; gradients are left untouched (callers zero them per batch).
+    pub fn step(&mut self, net: &mut Sequential) {
+        let mut idx = 0usize;
+        let (lr, mu) = (self.lr, self.momentum);
+        let velocity = &mut self.velocity;
+        net.visit_params(&mut |p| {
+            if velocity.len() == idx {
+                velocity.push(Tensor::zeros(p.value.shape()));
+            }
+            let v = &mut velocity[idx];
+            assert_eq!(
+                v.shape(),
+                p.value.shape(),
+                "optimizer state mismatch: was this optimizer used with another network?"
+            );
+            for ((vi, &gi), wi) in v
+                .as_mut_slice()
+                .iter_mut()
+                .zip(p.grad.as_slice())
+                .zip(p.value.as_mut_slice())
+            {
+                *vi = mu * *vi - lr * gi;
+                *wi += *vi;
+            }
+            idx += 1;
+        });
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: i32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with the given learning rate and the standard
+    /// `β₁ = 0.9, β₂ = 0.999, ε = 1e-8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lr > 0`.
+    pub fn new(lr: f32) -> Self {
+        Adam::with_betas(lr, 0.9, 0.999)
+    }
+
+    /// Creates Adam with explicit betas (GANs often use `β₁ = 0.5`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lr > 0` and both betas lie in `[0, 1)`.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas out of [0,1)");
+        Adam { lr, beta1, beta2, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lr > 0`.
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one Adam update using the gradients accumulated in `net`.
+    pub fn step(&mut self, net: &mut Sequential) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        let mut idx = 0usize;
+        net.visit_params(&mut |p| {
+            if ms.len() == idx {
+                ms.push(Tensor::zeros(p.value.shape()));
+                vs.push(Tensor::zeros(p.value.shape()));
+            }
+            let m = &mut ms[idx];
+            let v = &mut vs[idx];
+            assert_eq!(m.shape(), p.value.shape(), "optimizer state mismatch");
+            for i in 0..p.value.len() {
+                let g = p.grad.as_slice()[i];
+                let mi = &mut m.as_mut_slice()[i];
+                *mi = b1 * *mi + (1.0 - b1) * g;
+                let vi = &mut v.as_mut_slice()[i];
+                *vi = b2 * *vi + (1.0 - b2) * g * g;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                p.value.as_mut_slice()[i] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+            idx += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use crate::loss::mse;
+    use crate::{init, Tensor};
+
+    /// Trains y = 2x₀ − x₁ + 0.5 on a single linear layer; both optimizers
+    /// must drive the loss down by orders of magnitude.
+    fn fit_linear(step: &mut dyn FnMut(&mut Sequential)) -> f64 {
+        let mut net = Sequential::new();
+        net.push(Linear::new(2, 1, 7));
+        let x = init::uniform(&[32, 2], -1.0, 1.0, 3);
+        let y = Tensor::from_vec(
+            &[32, 1],
+            x.as_slice()
+                .chunks_exact(2)
+                .map(|c| 2.0 * c[0] - c[1] + 0.5)
+                .collect(),
+        );
+        let mut last = f64::INFINITY;
+        for _ in 0..300 {
+            let pred = net.forward(&x, true);
+            let (loss, grad) = mse(&pred, &y);
+            net.zero_grads();
+            net.backward(&grad);
+            step(&mut net);
+            last = loss;
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_fits_linear_regression() {
+        let mut opt = Sgd::new(0.2, 0.0);
+        let loss = fit_linear(&mut |net| opt.step(net));
+        assert!(loss < 1e-4, "sgd stalled at {loss}");
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let mut plain = Sgd::new(0.05, 0.0);
+        let slow = fit_linear(&mut |net| plain.step(net));
+        let mut heavy = Sgd::new(0.05, 0.9);
+        let fast = fit_linear(&mut |net| heavy.step(net));
+        assert!(fast < slow, "momentum {fast} vs plain {slow}");
+    }
+
+    #[test]
+    fn adam_fits_linear_regression() {
+        let mut opt = Adam::new(0.05);
+        let loss = fit_linear(&mut |net| opt.step(net));
+        assert!(loss < 1e-4, "adam stalled at {loss}");
+    }
+
+    #[test]
+    fn step_does_not_clear_grads() {
+        let mut net = Sequential::new();
+        net.push(Linear::new(1, 1, 0));
+        let y = net.forward(&Tensor::filled(&[1, 1], 1.0), true);
+        net.backward(&Tensor::filled(y.shape(), 1.0));
+        let mut opt = Sgd::new(0.1, 0.0);
+        opt.step(&mut net);
+        let mut any = false;
+        net.visit_params(&mut |p| any |= p.grad.max_abs() > 0.0);
+        assert!(any, "step must not clear gradients");
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn rejects_zero_lr() {
+        let _ = Sgd::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn lr_setter_roundtrip() {
+        let mut opt = Adam::new(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+        opt.set_learning_rate(0.001);
+        assert_eq!(opt.learning_rate(), 0.001);
+    }
+}

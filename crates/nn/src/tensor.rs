@@ -1,0 +1,461 @@
+//! Dense `f32` tensors with NCHW conventions.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major tensor of up to four dimensions.
+///
+/// Convolutional layers interpret 4-D tensors as `[N, C, H, W]`; linear
+/// layers interpret 2-D tensors as `[N, features]`.
+///
+/// ```
+/// use ganopc_nn::Tensor;
+/// let t = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+/// assert_eq!(t.shape(), &[2, 3]);
+/// assert_eq!(t.at(&[1, 2]), 6.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// An all-zero tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty shape or any zero dimension.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let len = check_shape(shape);
+        Tensor { shape: shape.to_vec(), data: vec![0.0; len] }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn filled(shape: &[usize], value: f32) -> Self {
+        let len = check_shape(shape);
+        Tensor { shape: shape.to_vec(), data: vec![value; len] }
+    }
+
+    /// Wraps a buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len()` disagrees with the shape product.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        let len = check_shape(shape);
+        assert_eq!(data.len(), len, "tensor buffer size mismatch");
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// The shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the tensor has no elements (never for valid
+    /// tensors).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow of the flat buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable borrow of the flat buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes into the flat buffer.
+    #[inline]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element by multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or bound violations.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.flat_index(index)]
+    }
+
+    /// Writes an element by multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or bound violations.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let i = self.flat_index(index);
+        self.data[i] = value;
+    }
+
+    fn flat_index(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.shape.len(), "tensor rank mismatch");
+        let mut flat = 0usize;
+        for (i, (&ix, &dim)) in index.iter().zip(&self.shape).enumerate() {
+            assert!(ix < dim, "index {ix} out of bounds for dim {i} (size {dim})");
+            flat = flat * dim + ix;
+        }
+        flat
+    }
+
+    /// Interprets as `[N, C, H, W]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tensor is 4-D.
+    pub fn dims4(&self) -> (usize, usize, usize, usize) {
+        assert_eq!(self.shape.len(), 4, "expected a 4-D tensor, got {:?}", self.shape);
+        (self.shape[0], self.shape[1], self.shape[2], self.shape[3])
+    }
+
+    /// Interprets as `[N, F]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tensor is 2-D.
+    pub fn dims2(&self) -> (usize, usize) {
+        assert_eq!(self.shape.len(), 2, "expected a 2-D tensor, got {:?}", self.shape);
+        (self.shape[0], self.shape[1])
+    }
+
+    /// Reshapes without copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the element counts disagree.
+    pub fn reshape(mut self, shape: &[usize]) -> Tensor {
+        let len = check_shape(shape);
+        assert_eq!(len, self.data.len(), "reshape changes element count");
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Element-wise map into a new tensor.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// `self + other`, element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "tensor add shape mismatch");
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| a + b).collect(),
+        }
+    }
+
+    /// `self - other`, element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "tensor sub shape mismatch");
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| a - b).collect(),
+        }
+    }
+
+    /// `self * s`, element-wise.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|v| v * s)
+    }
+
+    /// In-place accumulate `self += other * s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled_assign(&mut self, other: &Tensor, s: f32) {
+        assert_eq!(self.shape, other.shape, "tensor accumulate shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b * s;
+        }
+    }
+
+    /// Sum of elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of elements.
+    pub fn mean(&self) -> f32 {
+        self.sum() / self.data.len() as f32
+    }
+
+    /// Largest absolute element.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Concatenates tensors along the channel axis (dim 1) — used to build
+    /// the `(Z_t, M)` pair input of the GAN-OPC discriminator.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all tensors are 4-D and agree on `N, H, W`.
+    pub fn concat_channels(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat of zero tensors");
+        let (n, _, h, w) = parts[0].dims4();
+        let total_c: usize = parts
+            .iter()
+            .map(|p| {
+                let (pn, pc, ph, pw) = p.dims4();
+                assert_eq!((pn, ph, pw), (n, h, w), "concat dims mismatch");
+                pc
+            })
+            .sum();
+        let mut out = Tensor::zeros(&[n, total_c, h, w]);
+        let plane = h * w;
+        for ni in 0..n {
+            let mut c0 = 0usize;
+            for p in parts {
+                let pc = p.shape()[1];
+                let src = &p.data[ni * pc * plane..(ni + 1) * pc * plane];
+                let dst_start = (ni * total_c + c0) * plane;
+                out.data[dst_start..dst_start + pc * plane].copy_from_slice(src);
+                c0 += pc;
+            }
+        }
+        out
+    }
+
+    /// Splits a 4-D tensor back into channel groups of the given sizes —
+    /// the inverse of [`Tensor::concat_channels`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the sizes do not sum to the channel count.
+    pub fn split_channels(&self, sizes: &[usize]) -> Vec<Tensor> {
+        let (n, c, h, w) = self.dims4();
+        assert_eq!(sizes.iter().sum::<usize>(), c, "split sizes must cover all channels");
+        let plane = h * w;
+        let mut out = Vec::with_capacity(sizes.len());
+        let mut c0 = 0usize;
+        for &sc in sizes {
+            let mut part = Tensor::zeros(&[n, sc, h, w]);
+            for ni in 0..n {
+                let src_start = (ni * c + c0) * plane;
+                let dst_start = ni * sc * plane;
+                part.data[dst_start..dst_start + sc * plane]
+                    .copy_from_slice(&self.data[src_start..src_start + sc * plane]);
+            }
+            out.push(part);
+            c0 += sc;
+        }
+        out
+    }
+}
+
+fn check_shape(shape: &[usize]) -> usize {
+    assert!(!shape.is_empty(), "tensor shape cannot be empty");
+    assert!(shape.iter().all(|&d| d > 0), "zero-sized tensor dimension in {shape:?}");
+    shape.iter().product()
+}
+
+/// Row-major matrix multiply `C[m×n] = A[m×k] · B[k×n]` into a fresh buffer.
+///
+/// The i-k-j loop order keeps `B` accesses sequential; adequate for the
+/// layer sizes this workspace trains.
+///
+/// # Panics
+///
+/// Panics when the buffer sizes disagree with the dimensions.
+pub(crate) fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "lhs size mismatch");
+    assert_eq!(b.len(), k * n, "rhs size mismatch");
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `C[m×n] = Aᵀ[m×k]' · B ...` — multiply with `A` transposed:
+/// `C = Aᵀ B` where `A` is stored `[k × m]`.
+pub(crate) fn matmul_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), k * m, "lhs size mismatch");
+    assert_eq!(b.len(), k * n, "rhs size mismatch");
+    let mut c = vec![0.0f32; m * n];
+    for kk in 0..k {
+        let a_row = &a[kk * m..(kk + 1) * m];
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for i in 0..m {
+            let av = a_row[i];
+            if av == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `C[m×n] = A[m×k] · Bᵀ` where `B` is stored `[n × k]`.
+pub(crate) fn matmul_nt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "lhs size mismatch");
+    assert_eq!(b.len(), n * k, "rhs size mismatch");
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (av, bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let t = Tensor::from_vec(&[2, 2, 2], (0..8).map(|i| i as f32).collect());
+        assert_eq!(t.at(&[0, 0, 0]), 0.0);
+        assert_eq!(t.at(&[1, 0, 1]), 5.0);
+        assert_eq!(t.at(&[1, 1, 1]), 7.0);
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn at_out_of_bounds() {
+        let t = Tensor::zeros(&[2, 2]);
+        let _ = t.at(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank mismatch")]
+    fn at_wrong_rank() {
+        let t = Tensor::zeros(&[2, 2]);
+        let _ = t.at(&[0]);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(&[3], vec![0.5, 0.5, 0.5]);
+        assert_eq!(a.add(&b).as_slice(), &[1.5, 2.5, 3.5]);
+        assert_eq!(a.sub(&b).as_slice(), &[0.5, 1.5, 2.5]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+        let mut c = a.clone();
+        c.add_scaled_assign(&b, -2.0);
+        assert_eq!(c.as_slice(), &[0.0, 1.0, 2.0]);
+        assert_eq!(a.sum(), 6.0);
+        assert_eq!(a.mean(), 2.0);
+        assert_eq!(a.scale(-1.0).max_abs(), 3.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[2, 3], (0..6).map(|i| i as f32).collect());
+        let r = t.clone().reshape(&[3, 2]);
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "reshape changes element count")]
+    fn reshape_rejects_bad_count() {
+        let _ = Tensor::zeros(&[2, 3]).reshape(&[4, 2]);
+    }
+
+    #[test]
+    fn concat_and_split_roundtrip() {
+        let a = Tensor::from_vec(&[2, 1, 2, 2], (0..8).map(|i| i as f32).collect());
+        let b = Tensor::from_vec(&[2, 2, 2, 2], (100..116).map(|i| i as f32).collect());
+        let cat = Tensor::concat_channels(&[&a, &b]);
+        assert_eq!(cat.shape(), &[2, 3, 2, 2]);
+        // Batch 0 channel 0 comes from a, channels 1-2 from b.
+        assert_eq!(cat.at(&[0, 0, 0, 0]), 0.0);
+        assert_eq!(cat.at(&[0, 1, 0, 0]), 100.0);
+        assert_eq!(cat.at(&[1, 0, 0, 0]), 4.0);
+        assert_eq!(cat.at(&[1, 2, 1, 1]), 115.0);
+        let parts = cat.split_channels(&[1, 2]);
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    fn matmul_reference() {
+        // [2x3] · [3x2]
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0];
+        let c = matmul(&a, &b, 2, 3, 2);
+        assert_eq!(c, vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_transposed_variants_agree() {
+        let m = 3;
+        let k = 4;
+        let n = 2;
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.3).sin()).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.7).cos()).collect();
+        let c = matmul(&a, &b, m, k, n);
+        // Build Aᵀ stored [k×m] and check matmul_tn reproduces C.
+        let mut at = vec![0.0f32; k * m];
+        for i in 0..m {
+            for kk in 0..k {
+                at[kk * m + i] = a[i * k + kk];
+            }
+        }
+        assert_eq!(matmul_tn(&at, &b, m, k, n), c);
+        // Build Bᵀ stored [n×k] and check matmul_nt reproduces C.
+        let mut bt = vec![0.0f32; n * k];
+        for kk in 0..k {
+            for j in 0..n {
+                bt[j * k + kk] = b[kk * n + j];
+            }
+        }
+        let c2 = matmul_nt(&a, &bt, m, k, n);
+        for (x, y) in c.iter().zip(&c2) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized tensor dimension")]
+    fn zero_dim_rejected() {
+        let _ = Tensor::zeros(&[2, 0, 2]);
+    }
+}

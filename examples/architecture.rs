@@ -1,0 +1,41 @@
+//! Prints the generator and discriminator architectures (paper Fig. 3/4)
+//! at the paper-scaled resolution, plus the SOCS kernel stack summary
+//! (paper Eq. (2)).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example architecture
+//! ```
+
+use gan_opc::core::{Discriminator, Generator};
+use gan_opc::litho::{OpticalConfig, SocsKernels};
+
+fn main() {
+    let size = 64usize;
+    let mut generator = Generator::new(size, 16, 0);
+    let mut discriminator = Discriminator::new(size, 16, 0);
+    let mut mask_only = Discriminator::mask_only(size, 16, 0);
+
+    println!("{}", generator.summary());
+    println!();
+    println!("{}", discriminator.summary());
+    println!();
+    println!("{}", mask_only.summary());
+    println!();
+
+    let cfg = OpticalConfig::default_32nm(2048.0 / size as f64);
+    let stack = SocsKernels::from_config(&cfg);
+    println!(
+        "SOCS kernel stack: {} kernels, {}x{} taps each, pixel {} nm",
+        stack.len(),
+        stack.kernel_size(),
+        stack.kernel_size(),
+        stack.pixel_nm()
+    );
+    println!("open-field intensity: {:.4}", stack.open_field_intensity());
+    println!("leading kernel weights:");
+    for (i, k) in stack.kernels().iter().take(8).enumerate() {
+        println!("  h_{:<2} w = {:.6}", i + 1, k.weight);
+    }
+}

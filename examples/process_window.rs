@@ -1,0 +1,74 @@
+//! Focus–exposure process window analysis: how dose and defocus corners
+//! widen the process-variability band (the "PVB" metric of Table 2), and
+//! how OPC shrinks it.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example process_window
+//! ```
+
+use gan_opc::geometry::{ClipSynthesizer, DesignRules};
+use gan_opc::ilt::{IltConfig, IltEngine};
+use gan_opc::litho::metrics::pvb_over_corners;
+use gan_opc::litho::{Field, LithoModel, OpticalConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let size = 128usize;
+    let pixel_nm = 2048.0 / size as f64;
+
+    // Nominal and defocused models (same optics otherwise).
+    let base = OpticalConfig::default_32nm(pixel_nm);
+    let nominal = LithoModel::new(base.clone(), size, size)?;
+    let defocus_60 = LithoModel::new(base.clone().with_defocus(60.0), size, size)?;
+    let defocus_120 = LithoModel::new(base.clone().with_defocus(120.0), size, size)?;
+
+    let clip = ClipSynthesizer::new(DesignRules::m1_32nm(), 2048, 8).synthesize(11);
+    let target: Field = clip.rasterize_raster(size, size).binarize(0.5);
+
+    println!("process window of the *uncorrected* target mask:");
+    for (label, models) in [
+        ("dose ±5% only", vec![&nominal]),
+        ("dose ±5% × focus {0, 60nm}", vec![&nominal, &defocus_60]),
+        ("dose ±5% × focus {0, 60, 120nm}", vec![&nominal, &defocus_60, &defocus_120]),
+    ] {
+        let pvb = pvb_over_corners(&models, &target, 0.05);
+        println!("  {label:<34} PVB = {pvb:>9.0} nm²");
+    }
+
+    // Optimize with nominal-only ILT and with process-window-aware ILT
+    // (MOSAIC-style), then compare bands: nominal-only ILT chases nominal
+    // fidelity and often *widens* the band — the trade-off the paper
+    // discusses for its Table 2 PVB column.
+    let mut nominal_only = IltConfig::refinement();
+    nominal_only.max_iterations = 60;
+    let mut engine = IltEngine::new(LithoModel::new(base.clone(), size, size)?, nominal_only);
+    let plain = engine.optimize(&target)?;
+
+    let mut pw_cfg = IltConfig::mosaic();
+    pw_cfg.max_iterations = 60;
+    let mut pw_engine = IltEngine::new(LithoModel::new(base, size, size)?, pw_cfg);
+    let pw = pw_engine.optimize(&target)?;
+
+    println!();
+    println!("dose ±5% PVB by mask:");
+    for (label, mask) in [
+        ("uncorrected target", &target),
+        ("nominal-only ILT", &plain.mask),
+        ("process-window-aware ILT", &pw.mask),
+    ] {
+        let pvb = pvb_over_corners(&[&nominal], mask, 0.05);
+        println!("  {label:<26} PVB = {pvb:>9.0} nm²");
+    }
+    println!();
+    println!(
+        "defocus blurs the image (peak intensity {:.3} -> {:.3} at 120 nm),",
+        nominal.aerial_image(&target).max(),
+        defocus_120.aerial_image(&target).max()
+    );
+    println!("so focus corners always widen the band. ILT trades some band width");
+    println!("for nominal fidelity (sharper but more dose-sensitive contours); at");
+    println!("this pixel pitch the nominal-only and window-aware variants converge");
+    println!("to the same binary mask.");
+    Ok(())
+}

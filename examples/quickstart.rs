@@ -1,0 +1,69 @@
+//! Quickstart: optimize one synthesized M1 clip with the GAN-OPC flow and
+//! compare against the raw ILT baseline.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gan_opc::core::{FlowConfig, GanOpcFlow};
+use gan_opc::geometry::{ClipSynthesizer, DesignRules};
+use gan_opc::ilt::{IltConfig, IltEngine};
+use gan_opc::litho::metrics::squared_l2_nm2;
+use gan_opc::litho::LithoModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Synthesize a DRC-clean 2048 nm M1 clip under the paper's Table 1
+    //    rules and rasterize it at the lithography frame (64 px ⇒ 32 nm/px).
+    let litho_size = 64usize;
+    let rules = DesignRules::m1_32nm();
+    let clip = ClipSynthesizer::new(rules, 2048, 8).synthesize(7);
+    let target = clip.rasterize_raster(litho_size, litho_size).binarize(0.5);
+    println!(
+        "synthesized clip: {} shapes, pattern area {} nm²",
+        clip.shapes().len(),
+        clip.pattern_area()
+    );
+
+    // 2. Baseline: print the target directly (no OPC at all).
+    let model = LithoModel::iccad2013_like(litho_size)?;
+    let px = model.pixel_nm();
+    let no_opc = squared_l2_nm2(&model.print_nominal(&target), &target, px);
+    println!("no-OPC squared L2      : {no_opc:>12.0} nm²");
+
+    // 3. Full ILT from scratch (the conventional flow, paper Fig. 1).
+    let mut ilt = IltEngine::new(LithoModel::iccad2013_like(litho_size)?, IltConfig::refinement());
+    let ilt_result = ilt.optimize(&target)?;
+    println!(
+        "ILT squared L2         : {:>12.0} nm²  ({} iterations, {:.2}s)",
+        ilt_result.binary_l2_nm2, ilt_result.iterations, ilt_result.runtime_s
+    );
+
+    // 4. GAN-OPC flow (paper Fig. 6). The generator here is untrained —
+    //    see `examples/train_pipeline.rs` for the trained version — so this
+    //    demonstrates the plumbing: generator inference, upscale, ILT
+    //    refinement, metrics.
+    let mut cfg = FlowConfig::fast();
+    cfg.litho_size = litho_size;
+    cfg.net_size = 32;
+    let mut flow = GanOpcFlow::new(cfg)?;
+    let result = flow.optimize(&target)?;
+    println!(
+        "GAN-OPC flow squared L2: {:>12.0} nm²  (G {:.3}s + refine {:.2}s, {} iterations)",
+        result.l2_nm2,
+        result.generator_runtime_s,
+        result.refinement_runtime_s,
+        result.refinement_iterations
+    );
+    println!(
+        "defects: {} EPE violations / {} measurements, {} bridges, {} breaks, {} necks",
+        result.metrics.epe_violations,
+        result.metrics.epe_measurements,
+        result.metrics.bridges,
+        result.metrics.breaks,
+        result.metrics.necks
+    );
+    println!("PV band: {:.0} nm²", result.metrics.pvb_nm2);
+    Ok(())
+}

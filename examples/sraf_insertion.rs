@@ -1,0 +1,58 @@
+//! Sub-resolution assist features: insert scattering bars next to an
+//! isolated wire and measure the process-window benefit — the classic SRAF
+//! effect the paper's ref [9] targets.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example sraf_insertion
+//! ```
+
+use gan_opc::geometry::{Layout, Rect};
+use gan_opc::litho::metrics::pvb_over_corners;
+use gan_opc::litho::{LithoModel, OpticalConfig};
+use gan_opc::mbopc::sraf::{insert_srafs, SrafRules};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let size = 256usize; // 8 nm/px: enough resolution for 40 nm bars
+    let pixel_nm = 2048.0 / size as f64;
+    let base = OpticalConfig::default_32nm(pixel_nm);
+    let nominal = LithoModel::new(base.clone(), size, size)?;
+    let defocused = LithoModel::new(base.with_defocus(80.0), size, size)?;
+
+    // An isolated wire — the worst case for process-window stability.
+    let mut clip = Layout::new(Rect::new(0, 0, 2048, 2048));
+    clip.push(Rect::from_origin_size(980, 400, 88, 1200));
+
+    let rules = SrafRules::default();
+    let bars = insert_srafs(&clip, &rules);
+    println!("inserted {} scattering bars:", bars.len());
+    for bar in &bars {
+        println!("  {bar} ({} nm wide, {} nm off the wire)", bar.width().min(bar.height()), rules.gap_nm);
+    }
+
+    let bare = clip.rasterize_raster(size, size);
+    let mut assisted_clip = clip.clone();
+    assisted_clip.extend(bars.iter().copied());
+    let assisted = assisted_clip.rasterize_raster(size, size);
+
+    // SRAFs must not print...
+    let wafer_bare = nominal.print_nominal(&bare);
+    let wafer_assisted = nominal.print_nominal(&assisted);
+    let printed_delta = wafer_assisted.sum() - wafer_bare.sum();
+    println!();
+    println!(
+        "printed-area change from adding bars: {:.0} nm² (should be ~0: bars are sub-resolution)",
+        printed_delta as f64 * pixel_nm * pixel_nm
+    );
+
+    // ...but they should stabilize the image across dose and focus corners.
+    for (label, mask) in [("bare wire", &bare), ("wire + SRAFs", &assisted)] {
+        let dose_pvb = pvb_over_corners(&[&nominal], mask, 0.05);
+        let full_pvb = pvb_over_corners(&[&nominal, &defocused], mask, 0.05);
+        println!(
+            "{label:<14} PVB dose-only {dose_pvb:>9.0} nm²   dose x focus {full_pvb:>9.0} nm²"
+        );
+    }
+    Ok(())
+}

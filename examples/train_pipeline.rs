@@ -1,0 +1,106 @@
+//! The full GAN-OPC training pipeline at a laptop-friendly scale:
+//!
+//! 1. synthesize a training library (targets + ILT reference masks);
+//! 2. pre-train the generator with lithography guidance (Algorithm 2);
+//! 3. adversarially train generator + discriminator (Algorithm 1);
+//! 4. evaluate the trained flow on a held-out clip against raw ILT.
+//!
+//! Run with (sizes are deliberately small; scale them up via the constants):
+//!
+//! ```text
+//! cargo run --release --example train_pipeline
+//! ```
+
+use gan_opc::core::pretrain::{pretrain_generator, PretrainConfig};
+use gan_opc::core::{
+    Discriminator, FlowConfig, GanOpcFlow, GanTrainer, Generator, OpcDataset, TrainConfig,
+};
+use gan_opc::geometry::{ClipSynthesizer, DesignRules};
+use gan_opc::ilt::{IltConfig, IltEngine};
+use gan_opc::litho::{LithoModel, OpticalConfig};
+
+const NET_SIZE: usize = 32;
+const DATASET_COUNT: usize = 12;
+const PRETRAIN_ITERS: usize = 30;
+const GAN_ITERS: usize = 60;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- 1. Training library (Section 4) ----
+    println!("[1/4] synthesizing {DATASET_COUNT} training instances (ILT references)...");
+    let mut ref_ilt = IltConfig::fast();
+    ref_ilt.max_iterations = 40;
+    let dataset = OpcDataset::synthesize(NET_SIZE, DATASET_COUNT, ref_ilt, 101)?;
+    println!(
+        "      dataset ready: {} target/mask pairs at {NET_SIZE}x{NET_SIZE} px",
+        dataset.len()
+    );
+
+    // ---- 2. ILT-guided pre-training (Algorithm 2) ----
+    println!("[2/4] pre-training the generator with lithography gradients...");
+    let mut pre_cfg = OpticalConfig::default_32nm(2048.0 / NET_SIZE as f64);
+    pre_cfg.num_kernels = 10;
+    let pre_model = LithoModel::new(pre_cfg, NET_SIZE, NET_SIZE)?;
+    let mut generator = Generator::new(NET_SIZE, 8, 2018);
+    let mut pcfg = PretrainConfig::paper_scaled();
+    pcfg.iterations = PRETRAIN_ITERS;
+    pcfg.batch_size = 2;
+    let pre_stats = pretrain_generator(&mut generator, &pre_model, &dataset, &pcfg)?;
+    println!(
+        "      litho error: {:.1} -> {:.1}",
+        pre_stats.first().unwrap().litho_error,
+        pre_stats.last().unwrap().litho_error
+    );
+
+    // ---- 3. Adversarial training (Algorithm 1) ----
+    println!("[3/4] adversarial training ({GAN_ITERS} steps)...");
+    let discriminator = Discriminator::new(NET_SIZE, 8, 77);
+    let mut tcfg = TrainConfig::paper_scaled();
+    tcfg.iterations = GAN_ITERS;
+    tcfg.batch_size = 2;
+    let mut trainer = GanTrainer::new(generator, discriminator, tcfg);
+    let stats = trainer.train(&dataset);
+    let first = &stats[..5.min(stats.len())];
+    let last = &stats[stats.len().saturating_sub(5)..];
+    let avg = |s: &[gan_opc::core::StepStats]| {
+        s.iter().map(|x| x.l2_loss).sum::<f64>() / s.len() as f64
+    };
+    println!("      L2 loss: {:.4} -> {:.4}", avg(first), avg(last));
+    let (generator, _discriminator) = trainer.into_networks();
+
+    // ---- 4. Evaluation on a held-out clip ----
+    println!("[4/4] evaluating on a held-out clip...");
+    let litho_size = 2 * NET_SIZE;
+    let clip = ClipSynthesizer::new(DesignRules::m1_32nm(), 2048, 8).synthesize(5005);
+    let target = clip.rasterize_raster(litho_size, litho_size).binarize(0.5);
+
+    let mut flow_cfg = FlowConfig::fast();
+    flow_cfg.net_size = NET_SIZE;
+    flow_cfg.litho_size = litho_size;
+    flow_cfg.base_channels = 8;
+    flow_cfg.refinement.max_iterations = 40;
+    let mut flow = GanOpcFlow::with_generator(flow_cfg, generator)?;
+    let flow_result = flow.optimize(&target)?;
+
+    let mut baseline_cfg = IltConfig::refinement();
+    baseline_cfg.max_iterations = 120;
+    let mut baseline = IltEngine::new(
+        LithoModel::iccad2013_like(litho_size)?,
+        baseline_cfg,
+    );
+    let baseline_result = baseline.optimize(&target)?;
+
+    println!("      metric            GAN-OPC flow      raw ILT");
+    println!(
+        "      squared L2 (nm²)  {:>12.0}  {:>12.0}",
+        flow_result.l2_nm2, baseline_result.binary_l2_nm2
+    );
+    println!(
+        "      runtime (s)       {:>12.2}  {:>12.2}",
+        flow_result.total_runtime_s, baseline_result.runtime_s
+    );
+    println!(
+        "      iterations        {:>12}  {:>12}",
+        flow_result.refinement_iterations, baseline_result.iterations
+    );
+    Ok(())
+}

@@ -1,0 +1,290 @@
+//! `ganopc` — command-line interface to the GAN-OPC stack.
+//!
+//! ```text
+//! ganopc synthesize --seed 7 --groups 10 --out clip.pgm
+//! ganopc opc --flow ilt --size 128 --seed 7
+//! ganopc train --out model.ckpt --count 40 --iters 300 --pretrain 100
+//! ganopc evaluate --ckpt model.ckpt
+//! ganopc suite
+//! ```
+//!
+//! Run `ganopc help` for the full usage text.
+
+use gan_opc::core::pretrain::{pretrain_generator, PretrainConfig};
+use gan_opc::core::{
+    Discriminator, FlowConfig, GanOpcFlow, GanTrainer, Generator, OpcDataset, TrainConfig,
+};
+use gan_opc::geometry::io::write_pgm;
+use gan_opc::geometry::synthesis::benchmark_suite;
+use gan_opc::geometry::{ClipSynthesizer, DesignRules};
+use gan_opc::ilt::{IltConfig, IltEngine};
+use gan_opc::litho::metrics::{DefectConfig, MaskMetrics};
+use gan_opc::litho::{Field, LithoModel};
+use gan_opc::mbopc::{MbOpcConfig, MbOpcEngine};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+ganopc — lithography-guided generative adversarial mask optimization
+
+USAGE:
+    ganopc <command> [--key value]...
+
+COMMANDS:
+    synthesize   generate a DRC-clean M1 clip
+                   --seed N (default 7)  --groups N (default 10)
+                   --size PX (default 128)  --out FILE.pgm (optional)
+    opc          optimize a clip (synthesized, or loaded with --clip)
+                   --flow ilt|mbopc|gan (default ilt)  --seed N  --size PX
+                   --clip FILE (text layout; see geometry::textfmt)
+                   --ckpt FILE (gan flow: trained generator weights)
+                   --outdir DIR (write target/mask/wafer PGMs)
+    train        train a PGAN-OPC generator and save a checkpoint
+                   --out FILE (default model.ckpt)  --count N (default 40)
+                   --net PX (default 64)  --iters N (default 300)
+                   --pretrain N (default 100)  --seed N
+    evaluate     run the GAN-OPC flow over the 10 benchmark clips
+                   --ckpt FILE (required)  --net PX (default 64)
+                   --size PX (default 128)
+    suite        print the regenerated ICCAD-2013-like benchmark suite
+    help         show this text
+";
+
+fn parse_args(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("unexpected argument '{key}' (expected --key value)"));
+        };
+        let Some(value) = it.next() else {
+            return Err(format!("missing value for --{name}"));
+        };
+        map.insert(name.to_string(), value.clone());
+    }
+    Ok(map)
+}
+
+fn get<T: std::str::FromStr>(
+    args: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match args.get(key) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| format!("invalid value '{raw}' for --{key}")),
+    }
+}
+
+fn synthesize_clip(seed: u64, groups: usize) -> gan_opc::geometry::Layout {
+    ClipSynthesizer::new(DesignRules::m1_32nm(), 2048, groups).synthesize(seed)
+}
+
+fn cmd_synthesize(args: &HashMap<String, String>) -> Result<(), String> {
+    let seed: u64 = get(args, "seed", 7)?;
+    let groups: usize = get(args, "groups", 10)?;
+    let size: usize = get(args, "size", 128)?;
+    let clip = synthesize_clip(seed, groups);
+    println!(
+        "clip: {} shapes, pattern area {} nm², frame {} nm",
+        clip.shapes().len(),
+        clip.pattern_area(),
+        clip.frame().width()
+    );
+    if let Some(path) = args.get("out") {
+        let raster = clip.rasterize_raster(size, size);
+        write_pgm(path, &raster).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path} ({size}x{size})");
+    }
+    Ok(())
+}
+
+fn cmd_opc(args: &HashMap<String, String>) -> Result<(), String> {
+    let seed: u64 = get(args, "seed", 7)?;
+    let size: usize = get(args, "size", 128)?;
+    let flow_kind = args.get("flow").map(String::as_str).unwrap_or("ilt");
+    let clip = match args.get("clip") {
+        Some(path) => gan_opc::geometry::textfmt::read_layout(path)
+            .map_err(|e| format!("cannot load {path}: {e}"))?,
+        None => synthesize_clip(seed, 10),
+    };
+    let target: Field = clip.rasterize_raster(size, size).binarize(0.5);
+    let model = LithoModel::iccad2013_like_cached(size).map_err(|e| e.to_string())?;
+
+    let (label, mask, wafer, runtime_s) = match flow_kind {
+        "ilt" => {
+            let mut engine =
+                IltEngine::new(LithoModel::iccad2013_like_cached(size).map_err(|e| e.to_string())?, IltConfig::mosaic());
+            let r = engine.optimize(&target).map_err(|e| e.to_string())?;
+            ("ILT", r.mask, r.wafer, r.runtime_s)
+        }
+        "mbopc" => {
+            let mut engine = MbOpcEngine::new(
+                LithoModel::iccad2013_like_cached(size).map_err(|e| e.to_string())?,
+                MbOpcConfig::standard(),
+            );
+            let r = engine.optimize(&clip).map_err(|e| e.to_string())?;
+            ("MB-OPC", r.mask, r.wafer, r.runtime_s)
+        }
+        "gan" => {
+            let net: usize = get(args, "net", 64)?;
+            let mut cfg = FlowConfig::paper_scaled();
+            cfg.net_size = net;
+            cfg.litho_size = size;
+            cfg.base_channels = 8; // must match `ganopc train`
+            let mut flow = GanOpcFlow::new(cfg).map_err(|e| e.to_string())?;
+            if let Some(ckpt) = args.get("ckpt") {
+                flow.generator_mut().load(ckpt).map_err(|e| e.to_string())?;
+            } else {
+                eprintln!("warning: no --ckpt given; running with an untrained generator");
+            }
+            let r = flow.optimize(&target).map_err(|e| e.to_string())?;
+            ("GAN-OPC", r.mask, r.wafer, r.total_runtime_s)
+        }
+        other => return Err(format!("unknown flow '{other}' (ilt|mbopc|gan)")),
+    };
+
+    let metrics = MaskMetrics::evaluate(&model, &mask, &target, &DefectConfig::default());
+    println!("{label} on seed {seed} ({size}x{size}):");
+    println!("  squared L2 : {:>10.0} nm²", metrics.l2_nm2);
+    println!("  PV band    : {:>10.0} nm²", metrics.pvb_nm2);
+    println!(
+        "  defects    : {} EPE / {} bridges / {} breaks / {} necks",
+        metrics.epe_violations, metrics.bridges, metrics.breaks, metrics.necks
+    );
+    println!("  runtime    : {runtime_s:.2}s");
+    if let Some(dir) = args.get("outdir") {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        let dir = std::path::Path::new(dir);
+        write_pgm(dir.join("target.pgm"), &target).map_err(|e| e.to_string())?;
+        write_pgm(dir.join("mask.pgm"), &mask).map_err(|e| e.to_string())?;
+        write_pgm(dir.join("wafer.pgm"), &wafer).map_err(|e| e.to_string())?;
+        println!("wrote {}/{{target,mask,wafer}}.pgm", dir.display());
+    }
+    Ok(())
+}
+
+fn cmd_train(args: &HashMap<String, String>) -> Result<(), String> {
+    let out = args.get("out").cloned().unwrap_or_else(|| "model.ckpt".to_string());
+    let count: usize = get(args, "count", 40)?;
+    let net: usize = get(args, "net", 64)?;
+    let iters: usize = get(args, "iters", 300)?;
+    let pretrain: usize = get(args, "pretrain", 100)?;
+    let seed: u64 = get(args, "seed", 2018)?;
+
+    eprintln!("[1/3] synthesizing {count} training instances at {net}x{net}...");
+    let mut ref_cfg = IltConfig::refinement();
+    ref_cfg.max_iterations = 50;
+    let dataset = OpcDataset::synthesize(net, count, ref_cfg, seed).map_err(|e| e.to_string())?;
+
+    let mut generator = Generator::new(net, 8, seed);
+    if pretrain > 0 {
+        eprintln!("[2/3] ILT-guided pre-training ({pretrain} steps)...");
+        let model = LithoModel::iccad2013_like_cached(net).map_err(|e| e.to_string())?;
+        let mut pcfg = PretrainConfig::paper_scaled();
+        pcfg.iterations = pretrain;
+        let stats =
+            pretrain_generator(&mut generator, &model, &dataset, &pcfg).map_err(|e| e.to_string())?;
+        eprintln!(
+            "      litho error {:.0} -> {:.0}",
+            stats.first().map(|s| s.litho_error).unwrap_or(0.0),
+            stats.last().map(|s| s.litho_error).unwrap_or(0.0)
+        );
+    } else {
+        eprintln!("[2/3] skipping pre-training (--pretrain 0)");
+    }
+
+    eprintln!("[3/3] adversarial training ({iters} steps)...");
+    let mut tcfg = TrainConfig::paper_scaled();
+    tcfg.iterations = iters;
+    let mut trainer = GanTrainer::new(generator, Discriminator::new(net, 8, seed ^ 1), tcfg);
+    let stats = trainer.train(&dataset);
+    eprintln!(
+        "      mask L2 loss {:.4} -> {:.4}",
+        stats.first().map(|s| s.l2_loss).unwrap_or(0.0),
+        stats.last().map(|s| s.l2_loss).unwrap_or(0.0)
+    );
+    let (mut generator, _) = trainer.into_networks();
+    generator.save(&out).map_err(|e| e.to_string())?;
+    println!("saved generator checkpoint to {out}");
+    Ok(())
+}
+
+fn cmd_evaluate(args: &HashMap<String, String>) -> Result<(), String> {
+    let ckpt = args.get("ckpt").ok_or("--ckpt is required for evaluate")?;
+    let net: usize = get(args, "net", 64)?;
+    let size: usize = get(args, "size", 128)?;
+    let mut cfg = FlowConfig::paper_scaled();
+    cfg.net_size = net;
+    cfg.litho_size = size;
+    cfg.base_channels = 8; // must match `ganopc train`
+    let mut flow = GanOpcFlow::new(cfg).map_err(|e| e.to_string())?;
+    flow.generator_mut().load(ckpt).map_err(|e| e.to_string())?;
+
+    println!("{:>4} {:>10} {:>10} {:>8}", "ID", "L2 (nm²)", "PVB (nm²)", "RT (s)");
+    let mut sums = (0.0f64, 0.0f64, 0.0f64);
+    let suite = benchmark_suite(2048);
+    for clip in &suite {
+        let target = clip.layout.rasterize_raster(size, size).binarize(0.5);
+        let r = flow.optimize(&target).map_err(|e| e.to_string())?;
+        println!(
+            "{:>4} {:>10.0} {:>10.0} {:>8.2}",
+            clip.id, r.l2_nm2, r.metrics.pvb_nm2, r.total_runtime_s
+        );
+        sums.0 += r.l2_nm2;
+        sums.1 += r.metrics.pvb_nm2;
+        sums.2 += r.total_runtime_s;
+    }
+    let n = suite.len() as f64;
+    println!("{:>4} {:>10.0} {:>10.0} {:>8.2}", "avg", sums.0 / n, sums.1 / n, sums.2 / n);
+    Ok(())
+}
+
+fn cmd_suite() -> Result<(), String> {
+    println!("{:>4} {:>12} {:>12} {:>8}", "ID", "paper nm²", "ours nm²", "shapes");
+    for clip in benchmark_suite(2048) {
+        println!(
+            "{:>4} {:>12} {:>12} {:>8}",
+            clip.id,
+            clip.paper_area_nm2,
+            clip.layout.pattern_area(),
+            clip.layout.shapes().len()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let parsed = match parse_args(&argv[1..]) {
+        Ok(map) => map,
+        Err(msg) => {
+            eprintln!("error: {msg}\n");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "synthesize" => cmd_synthesize(&parsed),
+        "opc" => cmd_opc(&parsed),
+        "train" => cmd_train(&parsed),
+        "evaluate" => cmd_evaluate(&parsed),
+        "suite" => cmd_suite(),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Cross-crate integration: geometry → litho → metrics consistency.
+
+use gan_opc::geometry::synthesis::benchmark_suite;
+use gan_opc::geometry::{drc, ClipSynthesizer, DesignRules};
+use gan_opc::ilt::{IltConfig, IltEngine};
+use gan_opc::litho::metrics::{
+    break_count, bridge_count, connected_components, squared_l2_nm2,
+};
+use gan_opc::litho::{LithoModel, OpticalConfig};
+
+fn small_litho(size: usize) -> LithoModel {
+    let mut cfg = OpticalConfig::default_32nm(2048.0 / size as f64);
+    cfg.pupil_grid = 11;
+    cfg.num_kernels = 8;
+    LithoModel::new(cfg, size, size).unwrap()
+}
+
+#[test]
+fn synthesized_clip_prints_without_bridging_after_ilt() {
+    // A DRC-clean clip, optimized with ILT, must not short distinct nets:
+    // that is exactly what the Table 1 spacing rules guarantee optically.
+    let rules = DesignRules::m1_32nm();
+    let clip = ClipSynthesizer::new(rules, 2048, 6).synthesize(77);
+    assert!(drc::is_clean(&clip, &rules));
+    let target = clip.rasterize_raster(64, 64).binarize(0.5);
+
+    let mut cfg = IltConfig::fast();
+    cfg.max_iterations = 40;
+    let mut engine = IltEngine::new(small_litho(64), cfg);
+    let result = engine.optimize(&target).unwrap();
+    assert_eq!(bridge_count(&result.wafer, &target), 0, "optical short on DRC-clean clip");
+    assert_eq!(break_count(&result.wafer, &target), 0, "open wire after ILT");
+}
+
+#[test]
+fn rasterization_component_count_matches_geometry() {
+    // Each connected group of shapes becomes one raster component (at a
+    // resolution fine enough to separate minimum spacing).
+    let rules = DesignRules::m1_32nm();
+    let clip = ClipSynthesizer::new(rules, 2048, 5).synthesize(3);
+    // 256 px on 2048 nm = 8 nm/px; 60 nm gaps span >= 7 px.
+    let raster = clip.rasterize_raster(256, 256).binarize(0.5);
+    let (_, n_raster) = connected_components(&raster, 0.5);
+    // Count geometric components by union-find over touching rects.
+    let shapes = clip.shapes();
+    let mut parent: Vec<usize> = (0..shapes.len()).collect();
+    fn find(p: &mut Vec<usize>, i: usize) -> usize {
+        if p[i] != i {
+            let r = find(p, p[i]);
+            p[i] = r;
+        }
+        p[i]
+    }
+    for i in 0..shapes.len() {
+        for j in i + 1..shapes.len() {
+            if shapes[i].gap(&shapes[j]) == 0 {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                parent[ri] = rj;
+            }
+        }
+    }
+    let mut roots: Vec<usize> = (0..shapes.len()).map(|i| find(&mut parent, i)).collect();
+    roots.sort_unstable();
+    roots.dedup();
+    assert_eq!(n_raster, roots.len(), "raster components vs geometric groups");
+}
+
+#[test]
+fn pattern_area_survives_raster_and_print_pipeline() {
+    // Union area ≈ raster coverage ≈ (roughly) printed area after OPC.
+    let suite = benchmark_suite(2048);
+    let clip = &suite[0];
+    let raster = clip.layout.rasterize_raster(128, 128);
+    let px_nm2 = 16.0 * 16.0;
+    let raster_area = raster.sum() as f64 * px_nm2;
+    let exact = clip.layout.pattern_area() as f64;
+    assert!(
+        (raster_area - exact).abs() / exact < 0.02,
+        "raster {raster_area} vs exact {exact}"
+    );
+}
+
+#[test]
+fn dose_monotonicity_of_wafer_area() {
+    // For any mask, printed area must be non-decreasing in dose.
+    let clip = ClipSynthesizer::new(DesignRules::m1_32nm(), 2048, 6).synthesize(8);
+    let mask = clip.rasterize_raster(64, 64).binarize(0.5);
+    let model = small_litho(64);
+    let mut last = -1.0f32;
+    for dose in [0.9f32, 0.95, 1.0, 1.05, 1.1] {
+        let area = model.print(&mask, dose).sum();
+        assert!(area >= last, "dose {dose}: area {area} < previous {last}");
+        last = area;
+    }
+}
+
+#[test]
+fn l2_metric_agrees_between_crates() {
+    // litho::metrics::squared_l2_nm2 at 1 nm/px equals the raw raster
+    // distance from the geometry crate.
+    let a = gan_opc::litho::Field::from_vec(2, 2, vec![1.0, 0.0, 1.0, 0.0]);
+    let b = gan_opc::litho::Field::from_vec(2, 2, vec![0.0, 0.0, 1.0, 1.0]);
+    assert_eq!(squared_l2_nm2(&a, &b, 1.0), a.squared_l2_distance(&b));
+}

@@ -1,0 +1,66 @@
+//! Reproducibility: every stochastic stage is seeded, so identical seeds
+//! must give bit-identical results.
+
+use gan_opc::core::{Discriminator, GanTrainer, Generator, OpcDataset, TrainConfig};
+use gan_opc::geometry::synthesis::benchmark_suite;
+use gan_opc::ilt::{IltConfig, IltEngine};
+use gan_opc::litho::{LithoModel, OpticalConfig};
+
+fn small_litho() -> LithoModel {
+    let mut cfg = OpticalConfig::default_32nm(32.0);
+    cfg.pupil_grid = 11;
+    cfg.num_kernels = 6;
+    LithoModel::new(cfg, 64, 64).unwrap()
+}
+
+#[test]
+fn benchmark_suite_is_stable() {
+    let a = benchmark_suite(2048);
+    let b = benchmark_suite(2048);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.layout, y.layout, "case {}", x.id);
+    }
+}
+
+#[test]
+fn ilt_is_deterministic() {
+    let clip = &benchmark_suite(2048)[3];
+    let target = clip.layout.rasterize_raster(64, 64).binarize(0.5);
+    let run = || {
+        let mut cfg = IltConfig::fast();
+        cfg.max_iterations = 10;
+        let mut engine = IltEngine::new(small_litho(), cfg);
+        engine.optimize(&target).unwrap()
+    };
+    let r1 = run();
+    let r2 = run();
+    assert_eq!(r1.mask, r2.mask);
+    assert_eq!(r1.l2_history, r2.l2_history);
+}
+
+#[test]
+fn training_is_deterministic() {
+    let dataset = OpcDataset::synthesize(32, 2, IltConfig::fast(), 31).unwrap();
+    let run = || {
+        let mut trainer = GanTrainer::new(
+            Generator::new(32, 4, 8),
+            Discriminator::new(32, 4, 9),
+            TrainConfig::fast(),
+        );
+        let stats = trainer.train(&dataset);
+        let (mut g, _) = trainer.into_networks();
+        (stats, g.export_params())
+    };
+    let (s1, p1) = run();
+    let (s2, p2) = run();
+    assert_eq!(s1, s2);
+    assert_eq!(p1, p2);
+}
+
+#[test]
+fn litho_model_calibration_is_stable() {
+    let m1 = small_litho();
+    let m2 = small_litho();
+    assert_eq!(m1.threshold(), m2.threshold());
+    assert_eq!(m1.num_kernels(), m2.num_kernels());
+}

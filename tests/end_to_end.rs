@@ -1,0 +1,95 @@
+//! End-to-end integration: dataset synthesis → ILT-guided pre-training →
+//! adversarial training → GAN-OPC flow, at miniature scale.
+
+use gan_opc::core::pretrain::{pretrain_generator, PretrainConfig};
+use gan_opc::core::{
+    Discriminator, FlowConfig, GanOpcFlow, GanTrainer, Generator, OpcDataset, TrainConfig,
+};
+use gan_opc::ilt::IltConfig;
+use gan_opc::litho::{LithoModel, OpticalConfig};
+
+fn tiny_litho(size: usize) -> LithoModel {
+    let mut cfg = OpticalConfig::default_32nm(2048.0 / size as f64);
+    cfg.pupil_grid = 11;
+    cfg.num_kernels = 6;
+    LithoModel::new(cfg, size, size).unwrap()
+}
+
+#[test]
+fn full_pipeline_runs_and_improves() {
+    // 1. Dataset.
+    let dataset = OpcDataset::synthesize(32, 3, IltConfig::fast(), 99).unwrap();
+    assert_eq!(dataset.len(), 3);
+
+    // 2. Pre-training reduces lithography error.
+    let model = tiny_litho(32);
+    let mut generator = Generator::new(32, 4, 5);
+    let mut pcfg = PretrainConfig::fast();
+    pcfg.iterations = 10;
+    pcfg.lr = 0.05;
+    let pre = pretrain_generator(&mut generator, &model, &dataset, &pcfg).unwrap();
+    assert!(pre.last().unwrap().litho_error <= pre.first().unwrap().litho_error * 1.2);
+
+    // 3. Adversarial training produces finite losses.
+    let mut tcfg = TrainConfig::fast();
+    tcfg.iterations = 8;
+    let mut trainer = GanTrainer::new(generator, Discriminator::new(32, 4, 6), tcfg);
+    let stats = trainer.train(&dataset);
+    assert_eq!(stats.len(), 8);
+    assert!(stats.iter().all(|s| s.l2_loss.is_finite()));
+    let (generator, _) = trainer.into_networks();
+
+    // 4. The flow runs on a held-out clip and beats printing the raw target.
+    let mut fcfg = FlowConfig::fast();
+    fcfg.net_size = 32;
+    fcfg.litho_size = 64;
+    fcfg.refinement.max_iterations = 40;
+    fcfg.refinement.patience = 40;
+    let mut flow = GanOpcFlow::with_generator(fcfg, generator).unwrap();
+
+    let clip = gan_opc::geometry::ClipSynthesizer::new(
+        gan_opc::geometry::DesignRules::m1_32nm(),
+        2048,
+        6,
+    )
+    .synthesize(1234);
+    let target = clip.rasterize_raster(64, 64).binarize(0.5);
+    let result = flow.optimize(&target).unwrap();
+
+    let eval_model = flow.model();
+    let no_opc_wafer = eval_model.print_nominal(&target);
+    let no_opc_l2 = gan_opc::litho::metrics::squared_l2_nm2(
+        &no_opc_wafer,
+        &target,
+        eval_model.pixel_nm(),
+    );
+    assert!(
+        result.l2_nm2 <= no_opc_l2,
+        "flow ({}) should not lose to no-OPC ({})",
+        result.l2_nm2,
+        no_opc_l2
+    );
+}
+
+#[test]
+fn weight_snapshot_survives_flow_construction() {
+    // Train (briefly), snapshot, rebuild a generator elsewhere, verify the
+    // two produce identical masks.
+    let dataset = OpcDataset::synthesize(32, 2, IltConfig::fast(), 5).unwrap();
+    let mut trainer = GanTrainer::new(
+        Generator::new(32, 4, 1),
+        Discriminator::new(32, 4, 2),
+        TrainConfig::fast(),
+    );
+    trainer.train(&dataset);
+    let (mut trained, _) = trainer.into_networks();
+    let snapshot = trained.export_params();
+
+    let (targets, _) = dataset.batch(&[0]);
+    let expected = trained.forward(&targets, false);
+
+    let mut restored = Generator::new(32, 4, 999);
+    restored.import_params(&snapshot).unwrap();
+    let got = restored.forward(&targets, false);
+    assert_eq!(got, expected);
+}
