@@ -8,9 +8,8 @@ fn bench_fft2d(c: &mut Criterion) {
     group.sample_size(20);
     for size in [64usize, 128, 256] {
         let plan = Fft2d::new(size, size).unwrap();
-        let data: Vec<Complex> = (0..size * size)
-            .map(|i| Complex::new((i as f32 * 0.37).sin(), 0.0))
-            .collect();
+        let data: Vec<Complex> =
+            (0..size * size).map(|i| Complex::new((i as f32 * 0.37).sin(), 0.0)).collect();
         group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
             b.iter(|| {
                 let mut buf = data.clone();

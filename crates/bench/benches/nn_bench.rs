@@ -1,9 +1,58 @@
-//! Criterion bench B3: network building blocks and generator inference.
+//! Criterion bench B3: network building blocks, the GEMM core, generator
+//! inference and a full ILT-guided pre-training step.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use ganopc_core::Generator;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ganopc_core::pretrain::{pretrain_generator, PretrainConfig};
+use ganopc_core::{Generator, OpcDataset};
+use ganopc_ilt::IltConfig;
+use ganopc_litho::{LithoModel, OpticalConfig};
 use ganopc_nn::layers::{Conv2d, Layer};
-use ganopc_nn::{init, Tensor};
+use ganopc_nn::{gemm, init, Tensor};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(20);
+    // Square shapes: the classic cache-blocking stress.
+    for size in [128usize, 256, 512] {
+        let a = init::uniform(&[size, size], -1.0, 1.0, 11);
+        let b = init::uniform(&[size, size], -1.0, 1.0, 12);
+        group.bench_function(format!("square_{size}"), |bench| {
+            bench.iter(|| gemm::matmul(a.as_slice(), b.as_slice(), size, size, size))
+        });
+    }
+    // im2col-shaped skinny products: few output channels against a wide
+    // column matrix, as the conv layers issue them.
+    for (m, k, n) in [(32usize, 256usize, 1024usize), (16, 144, 4096)] {
+        let a = init::uniform(&[m, k], -1.0, 1.0, 13);
+        let b = init::uniform(&[k, n], -1.0, 1.0, 14);
+        group.bench_function(format!("im2col_{m}x{k}x{n}"), |bench| {
+            bench.iter(|| gemm::matmul(a.as_slice(), b.as_slice(), m, k, n))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pretrain_step(c: &mut Criterion) {
+    // One Algorithm 2 step: forward the batch through the generator,
+    // litho-simulate every mask, backpropagate the litho gradient.
+    let dataset = OpcDataset::synthesize(32, 4, IltConfig::fast(), 31).expect("dataset");
+    let litho = {
+        let mut cfg = OpticalConfig::default_32nm(2048.0 / 32.0);
+        cfg.pupil_grid = 11;
+        cfg.num_kernels = 6;
+        LithoModel::new(cfg, 32, 32).expect("litho model")
+    };
+    let config = PretrainConfig { iterations: 1, batch_size: 4, lr: 0.01, momentum: 0.0, seed: 17 };
+    let mut group = c.benchmark_group("pretrain");
+    group.sample_size(10);
+    group.bench_function("step_batch4_32px", |b| {
+        b.iter(|| {
+            let mut generator = Generator::new(32, 8, 23);
+            black_box(pretrain_generator(&mut generator, &litho, &dataset, &config).expect("step"))
+        })
+    });
+    group.finish();
+}
 
 fn bench_conv(c: &mut Criterion) {
     let mut conv = Conv2d::new(16, 32, 4, 2, 1, 1);
@@ -28,5 +77,5 @@ fn bench_generator_inference(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_conv, bench_generator_inference);
+criterion_group!(benches, bench_gemm, bench_conv, bench_generator_inference, bench_pretrain_step);
 criterion_main!(benches);

@@ -40,11 +40,7 @@ fn mapping_gap(generator: &mut Generator, dataset: &ganopc_core::OpcDataset) -> 
         let own = dataset.masks()[i].as_slice();
         let other = dataset.masks()[(i + n / 2).max(i + 1) % n].as_slice();
         let d = |reference: &[f32]| -> f64 {
-            m.as_slice()
-                .iter()
-                .zip(reference)
-                .map(|(&a, &b)| ((a - b) as f64).powi(2))
-                .sum::<f64>()
+            m.as_slice().iter().zip(reference).map(|(&a, &b)| ((a - b) as f64).powi(2)).sum::<f64>()
                 / m.len() as f64
         };
         matched += d(own);
@@ -172,8 +168,7 @@ fn ablate_alpha(scale: Scale) {
 fn ablate_pretraining(scale: Scale) {
     println!("== ablation 3: ILT-guided pre-training budget ==");
     let dataset = build_dataset(scale, 424_242);
-    let (train, val) =
-        ganopc_core::validate::split_dataset(&dataset, 0.25, 99).expect("split");
+    let (train, val) = ganopc_core::validate::split_dataset(&dataset, 0.25, 99).expect("split");
     let model = pretrain_model(scale);
     for pre_iters in [0usize, scale.pretrain_iters() / 2, scale.pretrain_iters()] {
         let mut g = Generator::new(scale.net_size(), 8, 1);
@@ -186,13 +181,11 @@ fn ablate_pretraining(scale: Scale) {
         let mut tcfg = TrainConfig::paper_scaled();
         tcfg.iterations = scale.gan_iters() / 2;
         tcfg.batch_size = 4;
-        let mut trainer =
-            GanTrainer::new(g, Discriminator::new(scale.net_size(), 8, 2), tcfg);
+        let mut trainer = GanTrainer::new(g, Discriminator::new(scale.net_size(), 8, 2), tcfg);
         let stats = trainer.train(&train);
         let l2: Vec<f64> = stats.iter().map(|s| s.l2_loss).collect();
         let (mut g, _) = trainer.into_networks();
-        let report =
-            ganopc_core::validate::evaluate_generator(&mut g, &model, &val).expect("eval");
+        let report = ganopc_core::validate::evaluate_generator(&mut g, &model, &val).expect("eval");
         println!(
             "  pretrain {pre_iters:>4} iters: train mask L2 {:.5}, held-out mask L2 {:.5}, held-out litho error {:.1}",
             tail_mean(&l2),

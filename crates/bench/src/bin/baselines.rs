@@ -70,7 +70,15 @@ fn main() {
     let n = suite.len() as f64;
     println!(
         "{:>4} | {:>10.0} | {:>10.0} {:>7} | {:>10.0} {:>7} {:>6} | {:>10.0} {:>7}",
-        "avg", sums[0] / n, sums[1] / n, "", sums[2] / n, "", "", sums[3] / n, ""
+        "avg",
+        sums[0] / n,
+        sums[1] / n,
+        "",
+        sums[2] / n,
+        "",
+        "",
+        sums[3] / n,
+        ""
     );
     println!();
     println!("expected ordering (paper Section 1): no-OPC > MB-OPC >= MB+SRAF > ILT on L2,");

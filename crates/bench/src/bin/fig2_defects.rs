@@ -7,7 +7,7 @@
 //! ```
 
 use ganopc_litho::metrics::{
-    bridge_count, break_count, epe_violations, neck_count, squared_l2_nm2, DefectConfig,
+    break_count, bridge_count, epe_violations, neck_count, squared_l2_nm2, DefectConfig,
 };
 use ganopc_litho::Field;
 
@@ -37,11 +37,7 @@ fn report(name: &str, wafer: &Field, target: &Field, cfg: &DefectConfig) {
 }
 
 fn main() {
-    let cfg = DefectConfig {
-        epe_tolerance_nm: 2.0,
-        epe_sample_step_nm: 2.0,
-        ..Default::default()
-    };
+    let cfg = DefectConfig { epe_tolerance_nm: 2.0, epe_sample_step_nm: 2.0, ..Default::default() };
     println!("Fig. 2 reproduction: per-detector response on crafted contours");
     println!("(1 px == 1 nm here; EPE tolerance 2 nm)\n");
 

@@ -9,7 +9,9 @@
 //! Images land in `target/fig8/case<N>.pgm` plus a combined
 //! `target/fig8/gallery.pgm`.
 
-use ganopc_bench::{build_dataset, make_baseline, make_flow, rasterized_suite, train_variant, Scale};
+use ganopc_bench::{
+    build_dataset, make_baseline, make_flow, rasterized_suite, train_variant, Scale,
+};
 use ganopc_geometry::io::{hstack, vstack, write_pgm};
 use ganopc_geometry::raster::Raster;
 

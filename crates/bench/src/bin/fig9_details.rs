@@ -10,7 +10,9 @@
 //! Fig. 2 detectors) for both flows and writes defect-window crops to
 //! `target/fig9/`.
 
-use ganopc_bench::{build_dataset, make_baseline, make_flow, rasterized_suite, train_variant, Scale};
+use ganopc_bench::{
+    build_dataset, make_baseline, make_flow, rasterized_suite, train_variant, Scale,
+};
 use ganopc_geometry::io::write_pgm;
 use ganopc_litho::metrics::{DefectConfig, MaskMetrics};
 use ganopc_litho::Field;
@@ -60,8 +62,7 @@ fn main() {
     for (clip, target) in &rasterized_suite(scale.litho_size()) {
         let ilt = baseline.optimize(target).expect("ilt");
         let gan = flow.optimize(target).expect("flow");
-        let m_ilt =
-            MaskMetrics::evaluate(baseline.model(), &ilt.mask, target, &defect_cfg);
+        let m_ilt = MaskMetrics::evaluate(baseline.model(), &ilt.mask, target, &defect_cfg);
         let m_gan = MaskMetrics::evaluate(flow.model(), &gan.mask, target, &defect_cfg);
         println!(
             "{:>4} | {:>4} {:>4} {:>4} {:>4} {:>8.0} | {:>4} {:>4} {:>4} {:>4} {:>8.0}",

@@ -69,14 +69,7 @@ fn main() {
             m.runtime_s / ilt_avg.runtime_s
         )
     };
-    println!(
-        "{:>4} {:>9}{}{}{}",
-        "rat",
-        "",
-        ratio(&ilt_avg),
-        ratio(&gan_avg),
-        ratio(&pgan_avg)
-    );
+    println!("{:>4} {:>9}{}{}{}", "rat", "", ratio(&ilt_avg), ratio(&gan_avg), ratio(&pgan_avg));
 
     // Paper reference ratios for comparison.
     let n = PAPER_TABLE2.len() as f64;

@@ -92,9 +92,13 @@ impl Scale {
     }
 }
 
-/// Paper Table 2 rows (ID, area, then L2 / PVB / RT for ILT [7], GAN-OPC
-/// and PGAN-OPC) — used to print the reference alongside our measurements.
-pub const PAPER_TABLE2: [(usize, i64, [f64; 3], [f64; 3], [f64; 3]); 10] = [
+/// One paper Table 2 row: `(ID, area, [L2, PVB, RT])` for ILT [7], GAN-OPC
+/// and PGAN-OPC respectively.
+pub type PaperTable2Row = (usize, i64, [f64; 3], [f64; 3], [f64; 3]);
+
+/// Paper Table 2 rows — used to print the reference alongside our
+/// measurements.
+pub const PAPER_TABLE2: [PaperTable2Row; 10] = [
     (1, 215_344, [49893.0, 65534.0, 1280.0], [54970.0, 64163.0, 380.0], [52570.0, 56267.0, 358.0]),
     (2, 169_280, [50369.0, 48230.0, 381.0], [46445.0, 56731.0, 374.0], [42253.0, 50822.0, 368.0]),
     (3, 213_504, [81007.0, 108608.0, 1123.0], [88899.0, 84308.0, 379.0], [83663.0, 94498.0, 368.0]),

@@ -90,10 +90,7 @@ impl Complex {
     /// convolution kernels.
     #[inline]
     pub fn mul_add(self, a: Complex, b: Complex) -> Self {
-        Complex {
-            re: self.re + a.re * b.re - a.im * b.im,
-            im: self.im + a.re * b.im + a.im * b.re,
-        }
+        Complex { re: self.re + a.re * b.re - a.im * b.im, im: self.im + a.re * b.im + a.im * b.re }
     }
 
     /// Returns `true` when both parts are finite.
@@ -139,10 +136,7 @@ impl Mul for Complex {
     type Output = Complex;
     #[inline]
     fn mul(self, rhs: Complex) -> Complex {
-        Complex {
-            re: self.re * rhs.re - self.im * rhs.im,
-            im: self.re * rhs.im + self.im * rhs.re,
-        }
+        Complex { re: self.re * rhs.re - self.im * rhs.im, im: self.re * rhs.im + self.im * rhs.re }
     }
 }
 
@@ -227,6 +221,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::neg_multiply)] // spells out the (a+bi)(c+di) expansion
     fn mul_matches_expansion() {
         let a = Complex::new(2.0, 3.0);
         let b = Complex::new(-1.0, 4.0);
@@ -256,9 +251,11 @@ mod tests {
             let theta = k as f32 * std::f32::consts::PI / 8.0;
             let c = Complex::cis(theta);
             assert!((c.abs() - 1.0).abs() < 1e-6);
-            assert!((c.arg() - theta).rem_euclid(2.0 * std::f32::consts::PI) < 1e-4
-                || (c.arg() - theta).rem_euclid(2.0 * std::f32::consts::PI)
-                    > 2.0 * std::f32::consts::PI - 1e-4);
+            assert!(
+                (c.arg() - theta).rem_euclid(2.0 * std::f32::consts::PI) < 1e-4
+                    || (c.arg() - theta).rem_euclid(2.0 * std::f32::consts::PI)
+                        > 2.0 * std::f32::consts::PI - 1e-4
+            );
         }
     }
 

@@ -53,7 +53,10 @@ impl Discriminator {
     }
 
     fn with_input_channels(size: usize, base_channels: usize, seed: u64, pair: bool) -> Self {
-        assert!(size >= 8 && size.is_power_of_two(), "discriminator size {size} must be a power of two >= 8");
+        assert!(
+            size >= 8 && size.is_power_of_two(),
+            "discriminator size {size} must be a power of two >= 8"
+        );
         assert!(base_channels > 0, "base_channels must be positive");
         let stages = (size.trailing_zeros() - 2) as usize; // down to 4×4
         let mut net = Sequential::new();

@@ -81,11 +81,11 @@ impl FlowConfig {
                 self.litho_size, self.net_size
             ));
         }
-        if self.litho_size % self.net_size != 0 {
+        if !self.litho_size.is_multiple_of(self.net_size) {
             return Err("litho_size must be a multiple of net_size".into());
         }
         if let Some(h) = self.mask_halo_nm {
-            if !(h > 0.0) {
+            if h.is_nan() || h <= 0.0 {
                 return Err("mask_halo_nm must be positive".into());
             }
         }
@@ -213,21 +213,14 @@ impl GanOpcFlow {
         let input = field_to_tensor(&pooled);
         let mask_small = self.generator.forward(&input, false);
         let mask_small_field = tensor_to_field(&mask_small, 0);
-        let mut generator_mask = if factor == 1 {
-            mask_small_field
-        } else {
-            mask_small_field.upsample_bilinear(factor)
-        };
+        let mut generator_mask =
+            if factor == 1 { mask_small_field } else { mask_small_field.upsample_bilinear(factor) };
         if let Some(halo_nm) = self.config.mask_halo_nm {
             // Clear generator output outside the legal correction region.
             let px_nm = 2048.0 / s as f64;
             let radius = (halo_nm / px_nm).ceil() as usize;
             let legal = target.dilate_box(radius, 0.5);
-            for (m, &l) in generator_mask
-                .as_mut_slice()
-                .iter_mut()
-                .zip(legal.as_slice())
-            {
+            for (m, &l) in generator_mask.as_mut_slice().iter_mut().zip(legal.as_slice()) {
                 *m *= l;
             }
         }
@@ -311,10 +304,7 @@ mod tests {
     #[test]
     fn flow_rejects_wrong_target_size() {
         let mut flow = GanOpcFlow::new(FlowConfig::fast()).unwrap();
-        assert!(matches!(
-            flow.optimize(&Field::zeros(32, 32)),
-            Err(GanOpcError::Config(_))
-        ));
+        assert!(matches!(flow.optimize(&Field::zeros(32, 32)), Err(GanOpcError::Config(_))));
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl Generator {
     ///
     /// Panics unless `size` is a power of two ≥ 8 and `base_channels > 0`.
     pub fn new(size: usize, base_channels: usize, seed: u64) -> Self {
-        assert!(size >= 8 && size.is_power_of_two(), "generator size {size} must be a power of two >= 8");
+        assert!(
+            size >= 8 && size.is_power_of_two(),
+            "generator size {size} must be a power of two >= 8"
+        );
         assert!(base_channels > 0, "base_channels must be positive");
         let stages = (size.trailing_zeros() - 2) as usize; // bottleneck at 4×4
         let mut net = Sequential::new();
@@ -59,12 +62,15 @@ impl Generator {
         }
         // Decoder.
         for s in 0..stages {
-            let out = if s + 1 == stages {
-                1
-            } else {
-                (ch / 2).max(base_channels / 2).max(1)
-            };
-            net.push(ConvTranspose2d::new(ch, out, 4, 2, 1, seed.wrapping_add(1000 + s as u64 * 17)));
+            let out = if s + 1 == stages { 1 } else { (ch / 2).max(base_channels / 2).max(1) };
+            net.push(ConvTranspose2d::new(
+                ch,
+                out,
+                4,
+                2,
+                1,
+                seed.wrapping_add(1000 + s as u64 * 17),
+            ));
             if s + 1 == stages {
                 net.push(Sigmoid::new());
             } else {
@@ -136,10 +142,7 @@ impl Generator {
     /// # Errors
     ///
     /// Propagates I/O failures.
-    pub fn save<P: AsRef<std::path::Path>>(
-        &mut self,
-        path: P,
-    ) -> Result<(), crate::GanOpcError> {
+    pub fn save<P: AsRef<std::path::Path>>(&mut self, path: P) -> Result<(), crate::GanOpcError> {
         let snapshot = self.export_params();
         ganopc_nn::checkpoint::save(path, &snapshot)?;
         Ok(())
@@ -150,10 +153,7 @@ impl Generator {
     /// # Errors
     ///
     /// Propagates I/O/format failures and layout mismatches.
-    pub fn load<P: AsRef<std::path::Path>>(
-        &mut self,
-        path: P,
-    ) -> Result<(), crate::GanOpcError> {
+    pub fn load<P: AsRef<std::path::Path>>(&mut self, path: P) -> Result<(), crate::GanOpcError> {
         let snapshot = ganopc_nn::checkpoint::load(path)?;
         self.import_params(&snapshot)?;
         Ok(())

@@ -10,10 +10,10 @@
 //! adversarial training starts, which the paper shows stabilizes GAN
 //! convergence (Fig. 7).
 
-use crate::{field_to_tensor, tensor_to_field, GanOpcError, Generator, OpcDataset};
+use crate::{tensor_to_field, GanOpcError, Generator, OpcDataset};
 use ganopc_litho::LithoModel;
 use ganopc_nn::optim::Sgd;
-use ganopc_nn::Tensor;
+use ganopc_nn::{pool, Tensor};
 use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters of Algorithm 2.
@@ -126,18 +126,30 @@ pub fn pretrain_generator(
         let (targets, _) = dataset.batch(&indices);
         // Line 5: M ← G(Z_t).
         let masks = generator.forward(&targets, true);
-        // Lines 6–8: litho-simulate each mask, collect ∂E/∂M.
+        // Lines 6–8: litho-simulate each mask, collect ∂E/∂M. Samples are
+        // independent, so they fan out over the shared worker pool; each job
+        // writes its own slice of the batch gradient, and the batch error is
+        // reduced in sample order below so the result is identical for any
+        // `GANOPC_THREADS` setting.
         let batch = indices.len();
         let mut grad = Tensor::zeros(masks.shape());
-        let mut err_total = 0.0f64;
         let plane = dataset.size() * dataset.size();
-        for (bi, &di) in indices.iter().enumerate() {
-            let mask_field = tensor_to_field(&masks, bi);
+        let jobs: Vec<(usize, usize, &mut [f32])> = indices
+            .iter()
+            .enumerate()
+            .zip(grad.as_mut_slice().chunks_mut(plane))
+            .map(|((bi, &di), gslice)| (bi, di, gslice))
+            .collect();
+        let masks_ref = &masks;
+        let errors = pool::run(jobs, |(bi, di, gslice)| -> Result<f64, GanOpcError> {
+            let mask_field = tensor_to_field(masks_ref, bi);
             let result = model.gradient(&mask_field, &dataset.targets()[di])?;
-            err_total += result.error;
-            let g = field_to_tensor(&result.grad);
-            grad.as_mut_slice()[bi * plane..(bi + 1) * plane]
-                .copy_from_slice(g.as_slice());
+            gslice.copy_from_slice(result.grad.as_slice());
+            Ok(result.error)
+        });
+        let mut err_total = 0.0f64;
+        for err in errors {
+            err_total += err?;
         }
         // Line 10: W_g ← W_g − (λ/m)·ΔW_g.
         generator.zero_grads();
@@ -173,10 +185,7 @@ mod tests {
         assert_eq!(stats.len(), 20);
         let early: f64 = stats[..4].iter().map(|s| s.litho_error).sum::<f64>() / 4.0;
         let late: f64 = stats[16..].iter().map(|s| s.litho_error).sum::<f64>() / 4.0;
-        assert!(
-            late < early,
-            "litho error did not decrease: {early} -> {late}"
-        );
+        assert!(late < early, "litho error did not decrease: {early} -> {late}");
     }
 
     #[test]
@@ -208,8 +217,7 @@ mod tests {
         let ds = OpcDataset::synthesize(32, 1, IltConfig::fast(), 2).unwrap();
         let model = tiny_model();
         let mut g = Generator::new(32, 4, 1);
-        let stats =
-            pretrain_generator(&mut g, &model, &ds, &PretrainConfig::fast()).unwrap();
+        let stats = pretrain_generator(&mut g, &model, &ds, &PretrainConfig::fast()).unwrap();
         for (i, s) in stats.iter().enumerate() {
             assert_eq!(s.step, i + 1);
             assert!(s.litho_error.is_finite());

@@ -93,7 +93,7 @@ impl TrainConfig {
             return Err("alpha must be nonnegative".into());
         }
         if let Some(c) = self.clip_grad_norm {
-            if !(c > 0.0) {
+            if c.is_nan() || c <= 0.0 {
                 return Err("clip_grad_norm must be positive".into());
             }
         }
@@ -222,10 +222,8 @@ impl GanTrainer {
             adversarial_loss: adv_loss,
             l2_loss,
             discriminator_loss: loss_real + loss_fake,
-            d_real: p_real.as_slice().iter().map(|&v| v as f64).sum::<f64>()
-                / p_real.len() as f64,
-            d_fake: p_fake.as_slice().iter().map(|&v| v as f64).sum::<f64>()
-                / p_fake.len() as f64,
+            d_real: p_real.as_slice().iter().map(|&v| v as f64).sum::<f64>() / p_real.len() as f64,
+            d_fake: p_fake.as_slice().iter().map(|&v| v as f64).sum::<f64>() / p_fake.len() as f64,
         }
     }
 
@@ -267,15 +265,10 @@ impl GanTrainer {
             let (targets, masks) = dataset.batch(&indices);
             stats.push(self.train_step(&targets, &masks));
             if (step + 1) % check_every == 0 || step + 1 == self.config.iterations {
-                let report = crate::validate::evaluate_generator(
-                    &mut self.generator,
-                    model,
-                    validation,
-                )?;
-                let better = best
-                    .as_ref()
-                    .map(|(b, _)| report.litho_error < b.litho_error)
-                    .unwrap_or(true);
+                let report =
+                    crate::validate::evaluate_generator(&mut self.generator, model, validation)?;
+                let better =
+                    best.as_ref().map(|(b, _)| report.litho_error < b.litho_error).unwrap_or(true);
                 if better {
                     best = Some((report, self.generator.export_params()));
                 }
@@ -405,17 +398,11 @@ mod tests {
         cfg.iterations = 8;
         let mut trainer =
             GanTrainer::new(Generator::new(32, 4, 1), Discriminator::new(32, 4, 2), cfg);
-        let (stats, best) = trainer
-            .train_with_validation(&train, &val, &model, 2)
-            .unwrap();
+        let (stats, best) = trainer.train_with_validation(&train, &val, &model, 2).unwrap();
         assert_eq!(stats.len(), 8);
         // The restored generator reproduces the reported best score.
-        let report = crate::validate::evaluate_generator(
-            trainer.generator_mut(),
-            &model,
-            &val,
-        )
-        .unwrap();
+        let report =
+            crate::validate::evaluate_generator(trainer.generator_mut(), &model, &val).unwrap();
         assert!((report.litho_error - best.litho_error).abs() < 1e-6);
     }
 

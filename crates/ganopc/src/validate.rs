@@ -37,10 +37,7 @@ pub fn split_dataset(
     }
     let order = dataset.epoch_order(seed);
     let pick = |indices: &[usize]| -> (Vec<_>, Vec<_>) {
-        indices
-            .iter()
-            .map(|&i| (dataset.targets()[i].clone(), dataset.masks()[i].clone()))
-            .unzip()
+        indices.iter().map(|&i| (dataset.targets()[i].clone(), dataset.masks()[i].clone())).unzip()
     };
     let (train_t, train_m) = pick(&order[..n - n_val]);
     let (val_t, val_m) = pick(&order[n - n_val..]);
@@ -184,9 +181,6 @@ mod tests {
         let ds = dataset();
         let m = model();
         let mut g = Generator::new(16, 4, 0);
-        assert!(matches!(
-            evaluate_generator(&mut g, &m, &ds),
-            Err(GanOpcError::Config(_))
-        ));
+        assert!(matches!(evaluate_generator(&mut g, &m, &ds), Err(GanOpcError::Config(_))));
     }
 }

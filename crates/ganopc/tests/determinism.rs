@@ -1,0 +1,52 @@
+//! Thread-count invariance of training.
+//!
+//! All parallel sites (GEMM blocks, per-sample convolutions, Hopkins kernel
+//! loops, per-sample litho gradients) reduce in fixed index order, so a
+//! training run must produce bit-identical statistics whether the pool uses
+//! one worker or many. This is the single test in this binary because it
+//! toggles the process-wide `GANOPC_THREADS` override.
+
+use ganopc_core::pretrain::pretrain_generator;
+use ganopc_core::{Discriminator, GanTrainer, Generator, OpcDataset, PretrainConfig, TrainConfig};
+use ganopc_ilt::IltConfig;
+use ganopc_litho::{LithoModel, OpticalConfig};
+
+fn with_threads<R>(threads: &str, f: impl FnOnce() -> R) -> R {
+    std::env::set_var("GANOPC_THREADS", threads);
+    let out = f();
+    std::env::remove_var("GANOPC_THREADS");
+    out
+}
+
+#[test]
+fn training_stats_are_identical_for_any_thread_count() {
+    let dataset = OpcDataset::synthesize(32, 2, IltConfig::fast(), 99).unwrap();
+
+    // Adversarial training (Algorithm 1): StepStats derive PartialEq over
+    // f64 fields, so equality here is bitwise.
+    let train = || {
+        let generator = Generator::new(32, 4, 5);
+        let discriminator = Discriminator::new(32, 4, 6);
+        let mut trainer = GanTrainer::new(generator, discriminator, TrainConfig::fast());
+        trainer.train(&dataset)
+    };
+    let serial = with_threads("1", train);
+    let parallel = with_threads("4", train);
+    assert_eq!(serial, parallel, "GanTrainer::train diverged across thread counts");
+
+    // ILT-guided pre-training (Algorithm 2) exercises the litho-model pool
+    // sites as well.
+    let litho = {
+        let mut cfg = OpticalConfig::default_32nm(2048.0 / 32.0);
+        cfg.pupil_grid = 11;
+        cfg.num_kernels = 6;
+        LithoModel::new(cfg, 32, 32).unwrap()
+    };
+    let pretrain = || {
+        let mut generator = Generator::new(32, 4, 7);
+        pretrain_generator(&mut generator, &litho, &dataset, &PretrainConfig::fast()).unwrap()
+    };
+    let serial = with_threads("1", pretrain);
+    let parallel = with_threads("4", pretrain);
+    assert_eq!(serial, parallel, "pretrain_generator diverged across thread counts");
+}

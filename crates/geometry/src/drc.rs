@@ -180,8 +180,7 @@ mod tests {
     #[test]
     fn narrow_wire_flags_width() {
         let rules = DesignRules::m1_32nm();
-        let clip =
-            Layout::with_shapes(frame(), vec![Rect::from_origin_size(0, 0, 79, 500)]);
+        let clip = Layout::with_shapes(frame(), vec![Rect::from_origin_size(0, 0, 79, 500)]);
         let v = check(&clip, &rules);
         assert_eq!(v, vec![Violation::Width { index: 0, cd_nm: 79 }]);
     }
@@ -214,10 +213,7 @@ mod tests {
             ],
         );
         let v = check(&clip, &rules);
-        assert_eq!(
-            v,
-            vec![Violation::Spacing { a: 0, b: 1, gap_nm: 59, kind: GapKind::TipToTip }]
-        );
+        assert_eq!(v, vec![Violation::Spacing { a: 0, b: 1, gap_nm: 59, kind: GapKind::TipToTip }]);
     }
 
     #[test]
@@ -226,10 +222,7 @@ mod tests {
         let rules = DesignRules::m1_32nm();
         let clip = Layout::with_shapes(
             frame(),
-            vec![
-                Rect::from_origin_size(0, 0, 80, 500),
-                Rect::from_origin_size(80, 0, 400, 80),
-            ],
+            vec![Rect::from_origin_size(0, 0, 80, 500), Rect::from_origin_size(80, 0, 400, 80)],
         );
         assert!(is_clean(&clip, &rules));
     }

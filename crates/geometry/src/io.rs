@@ -21,12 +21,7 @@ use std::path::Path;
 pub fn pgm_bytes(raster: &Raster) -> Vec<u8> {
     let header = format!("P5\n{} {}\n255\n", raster.width(), raster.height());
     let mut bytes = header.into_bytes();
-    bytes.extend(
-        raster
-            .as_slice()
-            .iter()
-            .map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as u8),
-    );
+    bytes.extend(raster.as_slice().iter().map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as u8));
     bytes
 }
 

@@ -155,11 +155,8 @@ pub fn union_area(rects: &[Rect]) -> i64 {
     for band in ys.windows(2) {
         let (y0, y1) = (band[0], band[1]);
         // Collect x-intervals of rects spanning this band and merge them.
-        let mut xs: Vec<(i64, i64)> = rects
-            .iter()
-            .filter(|r| r.y0 <= y0 && r.y1 >= y1)
-            .map(|r| (r.x0, r.x1))
-            .collect();
+        let mut xs: Vec<(i64, i64)> =
+            rects.iter().filter(|r| r.y0 <= y0 && r.y1 >= y1).map(|r| (r.x0, r.x1)).collect();
         if xs.is_empty() {
             continue;
         }
@@ -206,10 +203,8 @@ mod tests {
     #[test]
     fn pattern_area_matches_union() {
         let frame = Rect::new(0, 0, 1000, 1000);
-        let clip = Layout::with_shapes(
-            frame,
-            vec![Rect::new(0, 0, 80, 500), Rect::new(0, 420, 400, 500)],
-        );
+        let clip =
+            Layout::with_shapes(frame, vec![Rect::new(0, 0, 80, 500), Rect::new(0, 420, 400, 500)]);
         assert_eq!(clip.pattern_area(), 80 * 500 + 400 * 80 - 80 * 80);
     }
 
@@ -262,10 +257,8 @@ mod tests {
     #[test]
     fn rasterize_clamps_overlaps() {
         let frame = Rect::new(0, 0, 64, 64);
-        let clip = Layout::with_shapes(
-            frame,
-            vec![Rect::new(0, 0, 64, 64), Rect::new(0, 0, 64, 64)],
-        );
+        let clip =
+            Layout::with_shapes(frame, vec![Rect::new(0, 0, 64, 64), Rect::new(0, 0, 64, 64)]);
         let img = clip.rasterize(4, 4);
         assert!(img.iter().all(|&v| (v - 1.0).abs() < 1e-6));
     }
@@ -280,8 +273,7 @@ mod tests {
 
     #[test]
     fn translate_moves_everything() {
-        let mut clip =
-            Layout::with_shapes(Rect::new(0, 0, 10, 10), vec![Rect::new(1, 1, 2, 2)]);
+        let mut clip = Layout::with_shapes(Rect::new(0, 0, 10, 10), vec![Rect::new(1, 1, 2, 2)]);
         clip.translate(5, -5);
         assert_eq!(clip.frame(), Rect::new(5, -5, 15, 5));
         assert_eq!(clip.shapes()[0], Rect::new(6, -4, 7, -3));

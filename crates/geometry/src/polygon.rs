@@ -10,6 +10,9 @@ use crate::Rect;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// One scanline band of a polygon interior: `(y_lo, y_hi, x-intervals)`.
+type ScanBand = (i64, i64, Vec<(i64, i64)>);
+
 /// Errors from polygon validation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PolygonError {
@@ -126,8 +129,8 @@ impl Polygon {
 
     /// Per-y-band x-intervals of the interior (scanline decomposition).
     /// Returns `None` when a band has an odd crossing count (invalid
-    /// outline).
-    fn scan_bands(&self) -> Option<Vec<(i64, i64, Vec<(i64, i64)>)>> {
+    /// outline). Each band is `(y_lo, y_hi, x-intervals)`.
+    fn scan_bands(&self) -> Option<Vec<ScanBand>> {
         let n = self.vertices.len();
         // Vertical edges as (x, y_lo, y_hi).
         let mut verticals = Vec::new();
@@ -144,17 +147,13 @@ impl Polygon {
         let mut bands = Vec::new();
         for band in ys.windows(2) {
             let (y0, y1) = (band[0], band[1]);
-            let mut xs: Vec<i64> = verticals
-                .iter()
-                .filter(|v| v.1 <= y0 && v.2 >= y1)
-                .map(|v| v.0)
-                .collect();
+            let mut xs: Vec<i64> =
+                verticals.iter().filter(|v| v.1 <= y0 && v.2 >= y1).map(|v| v.0).collect();
             xs.sort_unstable();
-            if xs.len() % 2 != 0 {
+            if !xs.len().is_multiple_of(2) {
                 return None;
             }
-            let intervals: Vec<(i64, i64)> =
-                xs.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+            let intervals: Vec<(i64, i64)> = xs.chunks_exact(2).map(|c| (c[0], c[1])).collect();
             bands.push((y0, y1, intervals));
         }
         Some(bands)
@@ -184,9 +183,7 @@ impl Polygon {
             for (x0, x1) in intervals {
                 // Try to extend an open rect with identical x-span ending
                 // at y0.
-                if let Some(pos) = open
-                    .iter()
-                    .position(|r| r.x0 == x0 && r.x1 == x1 && r.y1 == y0)
+                if let Some(pos) = open.iter().position(|r| r.x0 == x0 && r.x1 == x1 && r.y1 == y0)
                 {
                     let mut r = open.swap_remove(pos);
                     r.y1 = y1;
@@ -195,7 +192,7 @@ impl Polygon {
                     next_open.push(Rect { x0, y0, x1, y1 });
                 }
             }
-            out.extend(open.drain(..));
+            out.append(&mut open);
             open = next_open;
         }
         out.extend(open);

@@ -173,7 +173,7 @@ impl Raster {
     pub fn avg_pool(&self, factor: usize) -> Raster {
         assert!(factor > 0, "pool factor must be positive");
         assert!(
-            self.height % factor == 0 && self.width % factor == 0,
+            self.height.is_multiple_of(factor) && self.width.is_multiple_of(factor),
             "raster {}x{} not divisible by pool factor {factor}",
             self.height,
             self.width

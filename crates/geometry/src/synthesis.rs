@@ -234,9 +234,8 @@ impl ClipSynthesizer {
 
 /// Pattern areas of the ten ICCAD-2013 benchmark clips (Table 2, "Area" in
 /// nm²) used to regenerate benchmark-like test cases.
-pub const TABLE2_AREAS_NM2: [i64; 10] = [
-    215_344, 169_280, 213_504, 82_560, 281_958, 286_234, 229_149, 128_544, 317_581, 102_400,
-];
+pub const TABLE2_AREAS_NM2: [i64; 10] =
+    [215_344, 169_280, 213_504, 82_560, 281_958, 286_234, 229_149, 128_544, 317_581, 102_400];
 
 /// A regenerated benchmark clip.
 #[derive(Debug, Clone)]

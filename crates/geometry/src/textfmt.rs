@@ -106,8 +106,7 @@ pub fn parse_layout(text: &str) -> Result<Layout, ParseLayoutError> {
         let syntax = |message: String| ParseLayoutError::Syntax { line: line_no, message };
         match keyword {
             "frame" => {
-                let coords = parse_ints(&rest)
-                    .map_err(|m| syntax(m))?;
+                let coords = parse_ints(&rest).map_err(syntax)?;
                 if coords.len() != 4 {
                     return Err(syntax(format!("frame needs 4 coordinates, got {}", coords.len())));
                 }
@@ -122,7 +121,7 @@ pub fn parse_layout(text: &str) -> Result<Layout, ParseLayoutError> {
             }
             "rect" => {
                 let target = layout.as_mut().ok_or(ParseLayoutError::MissingFrame)?;
-                let coords = parse_ints(&rest).map_err(|m| syntax(m))?;
+                let coords = parse_ints(&rest).map_err(syntax)?;
                 if coords.len() != 4 {
                     return Err(syntax(format!("rect needs 4 coordinates, got {}", coords.len())));
                 }
@@ -139,12 +138,10 @@ pub fn parse_layout(text: &str) -> Result<Layout, ParseLayoutError> {
                     let Some((xs, ys)) = pair.split_once(',') else {
                         return Err(syntax(format!("expected x,y pair, got '{pair}'")));
                     };
-                    let x: i64 = xs
-                        .parse()
-                        .map_err(|_| syntax(format!("invalid coordinate '{xs}'")))?;
-                    let y: i64 = ys
-                        .parse()
-                        .map_err(|_| syntax(format!("invalid coordinate '{ys}'")))?;
+                    let x: i64 =
+                        xs.parse().map_err(|_| syntax(format!("invalid coordinate '{xs}'")))?;
+                    let y: i64 =
+                        ys.parse().map_err(|_| syntax(format!("invalid coordinate '{ys}'")))?;
                     vertices.push((x, y));
                 }
                 let polygon = Polygon::new(vertices)
@@ -158,10 +155,7 @@ pub fn parse_layout(text: &str) -> Result<Layout, ParseLayoutError> {
 }
 
 fn parse_ints(tokens: &[&str]) -> Result<Vec<i64>, String> {
-    tokens
-        .iter()
-        .map(|t| t.parse::<i64>().map_err(|_| format!("invalid integer '{t}'")))
-        .collect()
+    tokens.iter().map(|t| t.parse::<i64>().map_err(|_| format!("invalid integer '{t}'"))).collect()
 }
 
 /// Writes a layout file.
@@ -226,10 +220,7 @@ rect 500 500 580 900
 
     #[test]
     fn rejects_shapes_before_frame() {
-        assert!(matches!(
-            parse_layout("rect 0 0 10 10\n"),
-            Err(ParseLayoutError::MissingFrame)
-        ));
+        assert!(matches!(parse_layout("rect 0 0 10 10\n"), Err(ParseLayoutError::MissingFrame)));
         assert!(matches!(parse_layout(""), Err(ParseLayoutError::MissingFrame)));
     }
 

@@ -285,11 +285,8 @@ impl IltEngine {
                 .collect(),
         );
 
-        let doses: &[f32] = if self.config.process_window_aware {
-            &[0.98, 1.0, 1.02]
-        } else {
-            &[1.0]
-        };
+        let doses: &[f32] =
+            if self.config.process_window_aware { &[0.98, 1.0, 1.02] } else { &[1.0] };
 
         let mut history = Vec::with_capacity(self.config.max_iterations);
         let mut best_p = p.clone();
@@ -328,9 +325,7 @@ impl IltEngine {
                 break;
             }
             let step = self.config.step_size / gmax;
-            for ((pv, g), v) in
-                p.as_mut_slice().iter_mut().zip(&grad).zip(velocity.iter_mut())
-            {
+            for ((pv, g), v) in p.as_mut_slice().iter_mut().zip(&grad).zip(velocity.iter_mut()) {
                 *v = mu * *v - step * g;
                 *pv += *v;
             }
@@ -444,10 +439,7 @@ mod tests {
     fn shape_mismatch_is_reported() {
         let mut engine = IltEngine::new(small_model(), IltConfig::fast());
         let bad = Field::zeros(32, 32);
-        assert!(matches!(
-            engine.optimize(&bad),
-            Err(IltError::ShapeMismatch { .. })
-        ));
+        assert!(matches!(engine.optimize(&bad), Err(IltError::ShapeMismatch { .. })));
     }
 
     #[test]
@@ -481,10 +473,7 @@ mod tests {
         };
         let plain = run(0.0);
         let heavy = run(0.6);
-        assert!(
-            heavy < plain * 1.05,
-            "momentum should not hurt materially: {heavy} vs {plain}"
-        );
+        assert!(heavy < plain * 1.05, "momentum should not hurt materially: {heavy} vs {plain}");
     }
 
     #[test]

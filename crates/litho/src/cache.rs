@@ -195,9 +195,10 @@ mod tests {
     fn stacks_equal(a: &SocsKernels, b: &SocsKernels) -> bool {
         a.kernel_size() == b.kernel_size()
             && a.len() == b.len()
-            && a.kernels().iter().zip(b.kernels()).all(|(x, y)| {
-                x.weight == y.weight && x.taps == y.taps
-            })
+            && a.kernels()
+                .iter()
+                .zip(b.kernels())
+                .all(|(x, y)| x.weight == y.weight && x.taps == y.taps)
     }
 
     #[test]

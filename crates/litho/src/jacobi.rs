@@ -131,10 +131,7 @@ pub fn eigendecompose(matrix: &SymMatrix, tol: f64, max_sweeps: usize) -> Vec<Ei
     }
 
     let mut pairs: Vec<EigenPair> = (0..n)
-        .map(|j| EigenPair {
-            value: a.get(j, j),
-            vector: (0..n).map(|i| v[i * n + j]).collect(),
-        })
+        .map(|j| EigenPair { value: a.get(j, j), vector: (0..n).map(|i| v[i * n + j]).collect() })
         .collect();
     pairs.sort_by(|x, y| y.value.partial_cmp(&x.value).expect("non-NaN eigenvalues"));
     pairs
@@ -156,9 +153,7 @@ mod tests {
     }
 
     fn matvec(m: &SymMatrix, x: &[f64]) -> Vec<f64> {
-        (0..m.dim())
-            .map(|i| (0..m.dim()).map(|j| m.get(i, j) * x[j]).sum())
-            .collect()
+        (0..m.dim()).map(|i| (0..m.dim()).map(|j| m.get(i, j) * x[j]).sum()).collect()
     }
 
     #[test]
@@ -222,16 +217,11 @@ mod tests {
 
     #[test]
     fn eigenvectors_are_orthogonal() {
-        let m = mat_from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, 0.2],
-            &[0.5, 0.2, 1.0],
-        ]);
+        let m = mat_from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 1.0]]);
         let eig = eigendecompose(&m, 1e-14, 50);
         for i in 0..3 {
             for j in i + 1..3 {
-                let dot: f64 =
-                    eig[i].vector.iter().zip(&eig[j].vector).map(|(a, b)| a * b).sum();
+                let dot: f64 = eig[i].vector.iter().zip(&eig[j].vector).map(|(a, b)| a * b).sum();
                 assert!(dot.abs() < 1e-8, "vectors {i},{j} not orthogonal: {dot}");
             }
         }

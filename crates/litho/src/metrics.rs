@@ -30,12 +30,8 @@ pub fn squared_l2_nm2(wafer: &Field, target: &Field, pixel_nm: f64) -> f64 {
 /// Panics on shape mismatch.
 pub fn pvb_nm2(inner: &Field, outer: &Field, pixel_nm: f64) -> f64 {
     assert_eq!(inner.shape(), outer.shape(), "pvb shape mismatch");
-    let px: f64 = inner
-        .as_slice()
-        .iter()
-        .zip(outer.as_slice())
-        .map(|(&i, &o)| (o - i).abs() as f64)
-        .sum();
+    let px: f64 =
+        inner.as_slice().iter().zip(outer.as_slice()).map(|(&i, &o)| (o - i).abs() as f64).sum();
     px * pixel_nm * pixel_nm
 }
 
@@ -150,7 +146,11 @@ pub fn epe_violations(
     let tol_px = cfg.epe_tolerance_nm / pixel_nm;
     let search = (tol_px.ceil() as isize + 2).max(3);
     let on = |f: &Field, y: isize, x: isize| -> bool {
-        y >= 0 && x >= 0 && (y as usize) < h && (x as usize) < w && f.get(y as usize, x as usize) >= 0.5
+        y >= 0
+            && x >= 0
+            && (y as usize) < h
+            && (x as usize) < w
+            && f.get(y as usize, x as usize) >= 0.5
     };
     let mut violations = 0usize;
     let mut measurements = 0usize;
@@ -561,16 +561,8 @@ mod tests {
 
     #[test]
     fn bridge_detected_between_two_wires() {
-        let target = field_from(&[
-            "##...##",
-            "##...##",
-            "##...##",
-        ]);
-        let bridged = field_from(&[
-            "##...##",
-            "#######",
-            "##...##",
-        ]);
+        let target = field_from(&["##...##", "##...##", "##...##"]);
+        let bridged = field_from(&["##...##", "#######", "##...##"]);
         assert_eq!(bridge_count(&bridged, &target), 1);
         assert_eq!(bridge_count(&target, &target), 0);
     }
@@ -589,16 +581,8 @@ mod tests {
     #[test]
     fn neck_detected_on_thin_print() {
         // Target wire 5 wide; wafer narrows to 2 in the middle row.
-        let target = field_from(&[
-            "#####",
-            "#####",
-            "#####",
-        ]);
-        let necked = field_from(&[
-            "#####",
-            ".##..",
-            "#####",
-        ]);
+        let target = field_from(&["#####", "#####", "#####"]);
+        let necked = field_from(&["#####", ".##..", "#####"]);
         let cfg = DefectConfig::default();
         assert!(neck_count(&necked, &target, &cfg) >= 1);
         assert_eq!(neck_count(&target, &target, &cfg), 0);
@@ -606,14 +590,9 @@ mod tests {
 
     #[test]
     fn epe_zero_for_perfect_print() {
-        let target = field_from(&[
-            "........",
-            "..####..",
-            "..####..",
-            "..####..",
-            "........",
-        ]);
-        let cfg = DefectConfig { epe_tolerance_nm: 1.0, epe_sample_step_nm: 1.0, ..Default::default() };
+        let target = field_from(&["........", "..####..", "..####..", "..####..", "........"]);
+        let cfg =
+            DefectConfig { epe_tolerance_nm: 1.0, epe_sample_step_nm: 1.0, ..Default::default() };
         let (v, m) = epe_violations(&target, &target, 1.0, &cfg);
         assert_eq!(v, 0);
         assert!(m > 0);
@@ -621,36 +600,21 @@ mod tests {
 
     #[test]
     fn epe_flags_shifted_edge() {
-        let target = field_from(&[
-            "........",
-            "..####..",
-            "..####..",
-            "..####..",
-            "........",
-        ]);
+        let target = field_from(&["........", "..####..", "..####..", "..####..", "........"]);
         // Wafer shifted right by 2 px, tolerance 1 px.
-        let wafer = field_from(&[
-            "........",
-            "....####",
-            "....####",
-            "....####",
-            "........",
-        ]);
-        let cfg = DefectConfig { epe_tolerance_nm: 1.0, epe_sample_step_nm: 1.0, ..Default::default() };
+        let wafer = field_from(&["........", "....####", "....####", "....####", "........"]);
+        let cfg =
+            DefectConfig { epe_tolerance_nm: 1.0, epe_sample_step_nm: 1.0, ..Default::default() };
         let (v, _m) = epe_violations(&wafer, &target, 1.0, &cfg);
         assert!(v > 0, "shifted edges must violate");
     }
 
     #[test]
     fn epe_missing_pattern_counts_violations() {
-        let target = field_from(&[
-            "........",
-            "..####..",
-            "..####..",
-            "........",
-        ]);
+        let target = field_from(&["........", "..####..", "..####..", "........"]);
         let wafer = Field::zeros(4, 8);
-        let cfg = DefectConfig { epe_tolerance_nm: 1.0, epe_sample_step_nm: 1.0, ..Default::default() };
+        let cfg =
+            DefectConfig { epe_tolerance_nm: 1.0, epe_sample_step_nm: 1.0, ..Default::default() };
         let (v, m) = epe_violations(&wafer, &target, 1.0, &cfg);
         assert_eq!(v, m, "every measurement should fail");
         assert!(m > 0);
@@ -664,8 +628,7 @@ mod tests {
         cfg.pupil_grid = 11;
         cfg.num_kernels = 6;
         let nominal = crate::LithoModel::new(cfg.clone(), 128, 128).unwrap();
-        let defocused =
-            crate::LithoModel::new(cfg.with_defocus(80.0), 128, 128).unwrap();
+        let defocused = crate::LithoModel::new(cfg.with_defocus(80.0), 128, 128).unwrap();
         let mut mask = Field::zeros(128, 128);
         for y in 32..96 {
             for x in 58..70 {
@@ -688,8 +651,7 @@ mod tests {
         cfg.pupil_grid = 11;
         cfg.num_kernels = 6;
         let nominal = crate::LithoModel::new(cfg.clone(), 64, 64).unwrap();
-        let defocused =
-            crate::LithoModel::new(cfg.with_defocus(120.0), 64, 64).unwrap();
+        let defocused = crate::LithoModel::new(cfg.with_defocus(120.0), 64, 64).unwrap();
         let mut mask = Field::zeros(64, 64);
         for y in 16..48 {
             for x in 29..34 {
@@ -706,18 +668,9 @@ mod tests {
 
     #[test]
     fn epe_statistics_of_perfect_print_are_zero() {
-        let target = field_from(&[
-            "........",
-            "..####..",
-            "..####..",
-            "..####..",
-            "........",
-        ]);
-        let cfg = DefectConfig {
-            epe_tolerance_nm: 2.0,
-            epe_sample_step_nm: 1.0,
-            ..Default::default()
-        };
+        let target = field_from(&["........", "..####..", "..####..", "..####..", "........"]);
+        let cfg =
+            DefectConfig { epe_tolerance_nm: 2.0, epe_sample_step_nm: 1.0, ..Default::default() };
         let stats = epe_statistics(&target, &target, 1.0, &cfg);
         assert!(!stats.is_empty());
         assert_eq!(stats.unmeasured, 0);
@@ -728,27 +681,12 @@ mod tests {
 
     #[test]
     fn epe_statistics_report_signed_shift() {
-        let target = field_from(&[
-            "........",
-            "..####..",
-            "..####..",
-            "..####..",
-            "........",
-        ]);
+        let target = field_from(&["........", "..####..", "..####..", "..####..", "........"]);
         // Shift right by 1 px: left edge +1 (inward seen from left), right
         // edge appears displaced by 1 in the opposite sign.
-        let wafer = field_from(&[
-            "........",
-            "...####.",
-            "...####.",
-            "...####.",
-            "........",
-        ]);
-        let cfg = DefectConfig {
-            epe_tolerance_nm: 3.0,
-            epe_sample_step_nm: 1.0,
-            ..Default::default()
-        };
+        let wafer = field_from(&["........", "...####.", "...####.", "...####.", "........"]);
+        let cfg =
+            DefectConfig { epe_tolerance_nm: 3.0, epe_sample_step_nm: 1.0, ..Default::default() };
         let stats = epe_statistics(&wafer, &target, 1.0, &cfg);
         assert!(!stats.is_empty());
         assert_eq!(stats.max_abs_nm(), 1.0);
@@ -762,18 +700,10 @@ mod tests {
 
     #[test]
     fn epe_statistics_count_unmeasured() {
-        let target = field_from(&[
-            "........",
-            "..####..",
-            "..####..",
-            "........",
-        ]);
+        let target = field_from(&["........", "..####..", "..####..", "........"]);
         let wafer = Field::zeros(4, 8);
-        let cfg = DefectConfig {
-            epe_tolerance_nm: 1.0,
-            epe_sample_step_nm: 1.0,
-            ..Default::default()
-        };
+        let cfg =
+            DefectConfig { epe_tolerance_nm: 1.0, epe_sample_step_nm: 1.0, ..Default::default() };
         let stats = epe_statistics(&wafer, &target, 1.0, &cfg);
         assert!(stats.is_empty());
         assert!(stats.unmeasured > 0);

@@ -5,6 +5,7 @@ use crate::socs::SocsKernels;
 use crate::{Field, LithoError};
 use ganopc_fft::spectrum::{self, KernelSpectrum};
 use ganopc_fft::{Complex, Direction, Fft2d};
+use ganopc_nn::pool;
 
 /// Result of one lithography-gradient evaluation (paper Eq. (11)–(14)).
 #[derive(Debug, Clone)]
@@ -110,7 +111,12 @@ impl LithoModel {
         Self::build(cfg, height, width, false)
     }
 
-    fn build(mut cfg: OpticalConfig, height: usize, width: usize, cached: bool) -> Result<Self, LithoError> {
+    fn build(
+        mut cfg: OpticalConfig,
+        height: usize,
+        width: usize,
+        cached: bool,
+    ) -> Result<Self, LithoError> {
         cfg.validate().map_err(LithoError::InvalidFrame)?;
         if !ganopc_fft::is_power_of_two(height) || !ganopc_fft::is_power_of_two(width) {
             return Err(LithoError::InvalidFrame(format!(
@@ -119,7 +125,7 @@ impl LithoModel {
         }
         let max_k = height.min(width) - 1;
         if cfg.kernel_size > max_k {
-            cfg.kernel_size = if max_k % 2 == 0 { max_k - 1 } else { max_k };
+            cfg.kernel_size = if max_k.is_multiple_of(2) { max_k - 1 } else { max_k };
         }
         if cfg.kernel_size < 3 {
             return Err(LithoError::InvalidFrame(format!(
@@ -259,41 +265,15 @@ impl LithoModel {
     }
 
     /// Per-kernel convolved fields `A_k = M ⊗ h_k` from a precomputed mask
-    /// spectrum.
+    /// spectrum. Kernels fan out over the shared worker pool (capped by
+    /// `GANOPC_THREADS`); results come back in kernel order.
     fn convolved_fields(&self, mask_spec: &[Complex]) -> Vec<Vec<Complex>> {
-        let n_threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(self.spectra.len())
-            .max(1);
-        let chunk = self.spectra.len().div_ceil(n_threads);
-        let mut out: Vec<Vec<Complex>> = Vec::with_capacity(self.spectra.len());
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .spectra
-                .chunks(chunk)
-                .map(|specs| {
-                    scope.spawn(move |_| {
-                        specs
-                            .iter()
-                            .map(|(_, ks)| {
-                                let mut buf = mask_spec.to_vec();
-                                spectrum::mul_assign(&mut buf, ks.as_slice());
-                                self.plan
-                                    .transform(&mut buf, Direction::Inverse)
-                                    .expect("planned size");
-                                buf
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                out.extend(h.join().expect("litho worker panicked"));
-            }
+        pool::run(self.spectra.iter().collect(), |(_, ks)| {
+            let mut buf = mask_spec.to_vec();
+            spectrum::mul_assign(&mut buf, ks.as_slice());
+            self.plan.transform(&mut buf, Direction::Inverse).expect("planned size");
+            buf
         })
-        .expect("crossbeam scope");
-        out
     }
 
     /// Aerial image `I = Σ_k w_k |M ⊗ h_k|²` at nominal dose (Eq. (2)).
@@ -344,8 +324,7 @@ impl LithoModel {
             Field::zeros(self.height, self.width),
             Field::zeros(self.height, self.width),
         ];
-        for (slot, dose) in
-            out.iter_mut().zip([1.0 - self.dose_delta, 1.0, 1.0 + self.dose_delta])
+        for (slot, dose) in out.iter_mut().zip([1.0 - self.dose_delta, 1.0, 1.0 + self.dose_delta])
         {
             *slot = aerial.map(|i| if dose * i >= self.threshold { 1.0 } else { 0.0 });
         }
@@ -403,72 +382,39 @@ impl LithoModel {
             }
         }
         let aerial = Field::from_vec(self.height, self.width, intensity);
-        let z = if dose == 1.0 {
-            self.relax(&aerial)
-        } else {
-            self.relax(&aerial.map(|i| dose * i))
-        };
+        let z =
+            if dose == 1.0 { self.relax(&aerial) } else { self.relax(&aerial.map(|i| dose * i)) };
 
         // E and the common factor g = 2α·dose (Z − Z_t) ⊙ Z ⊙ (1 − Z).
         let mut error = 0.0f64;
         let mut g = vec![0.0f32; n];
         let alpha = self.sigmoid_alpha * dose;
-        for i in 0..n {
-            let d = z.as_slice()[i] - target.as_slice()[i];
+        for ((gi, &zi), &ti) in g.iter_mut().zip(z.as_slice()).zip(target.as_slice()) {
+            let d = zi - ti;
             error += (d as f64) * (d as f64);
-            let zi = z.as_slice()[i];
-            g[i] = 2.0 * alpha * d * zi * (1.0 - zi);
+            *gi = 2.0 * alpha * d * zi * (1.0 - zi);
         }
 
         // grad = Σ_k w_k · 2 Re[ IFFT( FFT(g ⊙ A_k) ⊙ conj(H_k) ) ].
-        let n_threads = std::thread::available_parallelism()
-            .map(|t| t.get())
-            .unwrap_or(1)
-            .min(self.spectra.len())
-            .max(1);
-        let chunk = self.spectra.len().div_ceil(n_threads);
-        let jobs: Vec<(f32, &KernelSpectrum, &Vec<Complex>)> = self
-            .spectra
-            .iter()
-            .zip(&fields)
-            .map(|((w, ks), a)| (*w, ks, a))
-            .collect();
+        // Per-kernel contributions are computed on the pool and reduced
+        // below in kernel order, so the gradient bits do not depend on how
+        // many workers ran.
+        let jobs: Vec<(f32, &KernelSpectrum, &Vec<Complex>)> =
+            self.spectra.iter().zip(&fields).map(|((w, ks), a)| (*w, ks, a)).collect();
         let g_ref = &g;
+        let per_kernel = pool::run(jobs, |(w, ks, a)| {
+            let mut u: Vec<Complex> = a.iter().zip(g_ref).map(|(c, &gi)| c.scale(gi)).collect();
+            self.plan.transform(&mut u, Direction::Forward).expect("planned size");
+            spectrum::mul_conj_assign(&mut u, ks.as_slice());
+            self.plan.transform(&mut u, Direction::Inverse).expect("planned size");
+            u.iter().map(|c| w * 2.0 * c.re).collect::<Vec<f32>>()
+        });
         let mut grad = vec![0.0f32; n];
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = jobs
-                .chunks(chunk)
-                .map(|batch| {
-                    scope.spawn(move |_| {
-                        let mut local = vec![0.0f32; n];
-                        for (w, ks, a) in batch {
-                            let mut u: Vec<Complex> = a
-                                .iter()
-                                .zip(g_ref)
-                                .map(|(c, &gi)| c.scale(gi))
-                                .collect();
-                            self.plan
-                                .transform(&mut u, Direction::Forward)
-                                .expect("planned size");
-                            spectrum::mul_conj_assign(&mut u, ks.as_slice());
-                            self.plan
-                                .transform(&mut u, Direction::Inverse)
-                                .expect("planned size");
-                            for (l, c) in local.iter_mut().zip(&u) {
-                                *l += w * 2.0 * c.re;
-                            }
-                        }
-                        local
-                    })
-                })
-                .collect();
-            for h in handles {
-                for (gi, l) in grad.iter_mut().zip(h.join().expect("gradient worker")) {
-                    *gi += l;
-                }
+        for contribution in &per_kernel {
+            for (gi, &c) in grad.iter_mut().zip(contribution) {
+                *gi += c;
             }
-        })
-        .expect("crossbeam scope");
+        }
 
         Ok(GradientResult {
             grad: Field::from_vec(self.height, self.width, grad),
@@ -503,10 +449,7 @@ mod tests {
     #[test]
     fn rejects_non_power_of_two_frame() {
         let cfg = OpticalConfig::default_32nm(16.0);
-        assert!(matches!(
-            LithoModel::new(cfg, 96, 96),
-            Err(LithoError::InvalidFrame(_))
-        ));
+        assert!(matches!(LithoModel::new(cfg, 96, 96), Err(LithoError::InvalidFrame(_))));
     }
 
     #[test]
@@ -527,10 +470,7 @@ mod tests {
         let wafer = model.print_nominal(&mask);
         let row: usize = 32;
         let printed: f32 = (0..64).map(|x| wafer.get(row, x)).sum();
-        assert!(
-            (4.0..=7.0).contains(&printed),
-            "printed CD {printed} px, expected ~5"
-        );
+        assert!((4.0..=7.0).contains(&printed), "printed CD {printed} px, expected ~5");
     }
 
     #[test]
@@ -563,12 +503,8 @@ mod tests {
         model.set_sigmoid_alpha(500.0);
         let z = model.relax(&aerial);
         let binary = model.print_nominal(&mask);
-        let mismatch: f32 = z
-            .as_slice()
-            .iter()
-            .zip(binary.as_slice())
-            .map(|(&a, &b)| (a - b).abs())
-            .sum();
+        let mismatch: f32 =
+            z.as_slice().iter().zip(binary.as_slice()).map(|(&a, &b)| (a - b).abs()).sum();
         // Soft and hard wafers agree except in the thin transition band.
         assert!(mismatch < 64.0, "relaxation too soft: {mismatch}");
     }
@@ -577,10 +513,7 @@ mod tests {
     fn aerial_shape_mismatch_is_error() {
         let model = small_model();
         let bad = Field::zeros(32, 32);
-        assert!(matches!(
-            model.try_aerial_image(&bad),
-            Err(LithoError::ShapeMismatch { .. })
-        ));
+        assert!(matches!(model.try_aerial_image(&bad), Err(LithoError::ShapeMismatch { .. })));
     }
 
     #[test]
@@ -617,23 +550,14 @@ mod tests {
             Field::from_vec(
                 64,
                 64,
-                mask.as_slice()
-                    .iter()
-                    .zip(&dir)
-                    .map(|(&m, &d)| m + sign * eps * d)
-                    .collect(),
+                mask.as_slice().iter().zip(&dir).map(|(&m, &d)| m + sign * eps * d).collect(),
             )
         };
         let ep = model.gradient(&shifted(1.0), &target).unwrap().error;
         let em = model.gradient(&shifted(-1.0), &target).unwrap().error;
         let fd = (ep - em) / (2.0 * eps as f64);
-        let analytic: f64 = result
-            .grad
-            .as_slice()
-            .iter()
-            .zip(&dir)
-            .map(|(&g, &d)| g as f64 * d as f64)
-            .sum();
+        let analytic: f64 =
+            result.grad.as_slice().iter().zip(&dir).map(|(&g, &d)| g as f64 * d as f64).sum();
         let denom = fd.abs().max(analytic.abs()).max(1e-6);
         assert!(
             (fd - analytic).abs() / denom < 0.02,
@@ -699,12 +623,7 @@ mod tests {
                 .collect(),
         );
         let r1 = model.gradient(&moved, &target).unwrap();
-        assert!(
-            r1.error < r0.error,
-            "descent failed: {} -> {}",
-            r0.error,
-            r1.error
-        );
+        assert!(r1.error < r0.error, "descent failed: {} -> {}", r0.error, r1.error);
     }
 
     #[test]

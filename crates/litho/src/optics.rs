@@ -109,13 +109,13 @@ impl OpticalConfig {
         if self.pixel_nm <= 0.0 {
             return Err("pixel pitch must be positive".into());
         }
-        if self.kernel_size % 2 == 0 || self.kernel_size < 3 {
+        if self.kernel_size.is_multiple_of(2) || self.kernel_size < 3 {
             return Err(format!("kernel size {} must be odd and >= 3", self.kernel_size));
         }
         if self.num_kernels == 0 {
             return Err("at least one SOCS kernel required".into());
         }
-        if self.pupil_grid % 2 == 0 || self.pupil_grid < 5 {
+        if self.pupil_grid.is_multiple_of(2) || self.pupil_grid < 5 {
             return Err(format!("pupil grid {} must be odd and >= 5", self.pupil_grid));
         }
         if !self.defocus_nm.is_finite() || self.defocus_nm.abs() > 500.0 {

@@ -74,10 +74,8 @@ impl SocsKernels {
                         let mut acc_re = 0.0f64;
                         let mut acc_im = 0.0f64;
                         for (s, &(cr, ci)) in dec.samples.iter().zip(coeffs) {
-                            let phase = 2.0
-                                * std::f64::consts::PI
-                                * cutoff
-                                * (s.ux * x_nm + s.uy * y_nm);
+                            let phase =
+                                2.0 * std::f64::consts::PI * cutoff * (s.ux * x_nm + s.uy * y_nm);
                             let (sin, cos) = phase.sin_cos();
                             // (cr + i·ci) · e^{iφ}
                             acc_re += cr * cos - ci * sin;

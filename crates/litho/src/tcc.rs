@@ -56,8 +56,7 @@ fn pupil(cfg: &OpticalConfig, ux: f64, uy: f64) -> (f64, f64) {
         return (1.0, 0.0);
     }
     let na = cfg.numerical_aperture;
-    let phase =
-        std::f64::consts::PI * cfg.defocus_nm * na * na * r2 / cfg.wavelength_nm;
+    let phase = std::f64::consts::PI * cfg.defocus_nm * na * na * r2 / cfg.wavelength_nm;
     (phase.cos(), phase.sin())
 }
 
@@ -155,10 +154,8 @@ pub fn decompose(cfg: &OpticalConfig) -> TccDecomposition {
     let (values, vectors): (Vec<f64>, Vec<Vec<(f64, f64)>>) = if !hermitian {
         let pairs = eigendecompose(&re, 1e-12, 40);
         let values = pairs.iter().map(|p| p.value).collect();
-        let vectors = pairs
-            .into_iter()
-            .map(|p| p.vector.into_iter().map(|x| (x, 0.0)).collect())
-            .collect();
+        let vectors =
+            pairs.into_iter().map(|p| p.vector.into_iter().map(|x| (x, 0.0)).collect()).collect();
         (values, vectors)
     } else {
         // Real embedding of H = A + iB:  M = [[A, -B], [B, A]], size 2n.
@@ -304,11 +301,7 @@ mod tests {
         }
         assert!(dec.eigenvalues.iter().all(|&v| v >= -1e-9));
         // At least one kernel coefficient picks up an imaginary part.
-        let any_complex = dec
-            .eigenvectors
-            .iter()
-            .flatten()
-            .any(|&(_, im)| im.abs() > 1e-9);
+        let any_complex = dec.eigenvectors.iter().flatten().any(|&(_, im)| im.abs() > 1e-9);
         assert!(any_complex, "defocused kernels should be complex");
     }
 
@@ -319,8 +312,7 @@ mod tests {
         let (samples, re, im) = build_tcc(&c);
         let n = samples.len();
         let dec = decompose(&c);
-        for (k, (&lambda, vec)) in
-            dec.eigenvalues.iter().zip(&dec.eigenvectors).enumerate().take(4).map(|(k, p)| (k, p))
+        for (k, (&lambda, vec)) in dec.eigenvalues.iter().zip(&dec.eigenvectors).enumerate().take(4)
         {
             for i in 0..n {
                 let mut hr = 0.0;

@@ -81,22 +81,30 @@ impl Segment {
     pub fn slab(&self, offset: i64) -> Rect {
         let o = offset;
         match self.side {
-            EdgeSide::Right => {
-                Rect::new(self.edge_coord.min(self.edge_coord + o), self.span_lo,
-                          self.edge_coord.max(self.edge_coord + o), self.span_hi)
-            }
-            EdgeSide::Left => {
-                Rect::new(self.edge_coord.min(self.edge_coord - o), self.span_lo,
-                          self.edge_coord.max(self.edge_coord - o), self.span_hi)
-            }
-            EdgeSide::Top => {
-                Rect::new(self.span_lo, self.edge_coord.min(self.edge_coord + o),
-                          self.span_hi, self.edge_coord.max(self.edge_coord + o))
-            }
-            EdgeSide::Bottom => {
-                Rect::new(self.span_lo, self.edge_coord.min(self.edge_coord - o),
-                          self.span_hi, self.edge_coord.max(self.edge_coord - o))
-            }
+            EdgeSide::Right => Rect::new(
+                self.edge_coord.min(self.edge_coord + o),
+                self.span_lo,
+                self.edge_coord.max(self.edge_coord + o),
+                self.span_hi,
+            ),
+            EdgeSide::Left => Rect::new(
+                self.edge_coord.min(self.edge_coord - o),
+                self.span_lo,
+                self.edge_coord.max(self.edge_coord - o),
+                self.span_hi,
+            ),
+            EdgeSide::Top => Rect::new(
+                self.span_lo,
+                self.edge_coord.min(self.edge_coord + o),
+                self.span_hi,
+                self.edge_coord.max(self.edge_coord + o),
+            ),
+            EdgeSide::Bottom => Rect::new(
+                self.span_lo,
+                self.edge_coord.min(self.edge_coord - o),
+                self.span_hi,
+                self.edge_coord.max(self.edge_coord - o),
+            ),
         }
     }
 }

@@ -40,7 +40,7 @@ pub mod sraf;
 
 use fragment::{EdgeSide, FragmentedLayout};
 use ganopc_geometry::{Layout, Rect};
-use ganopc_litho::{Field, LithoModel, LithoError};
+use ganopc_litho::{Field, LithoError, LithoModel};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
@@ -253,9 +253,17 @@ impl MbOpcEngine {
                     // dense layouts the contour found beyond it belongs to
                     // the *neighbouring* wire and would read as a giant
                     // negative EPE.
-                    let e = measure_epe(&wafer, cx, cy, seg.side,
-                                        layout.frame(), h, w, self.config.search_range_nm,
-                                        clearances[si] as f64);
+                    let e = measure_epe(
+                        &wafer,
+                        cx,
+                        cy,
+                        seg.side,
+                        layout.frame(),
+                        h,
+                        w,
+                        self.config.search_range_nm,
+                        clearances[si] as f64,
+                    );
                     if e.abs() > epe.abs() {
                         epe = e;
                     }
@@ -354,18 +362,22 @@ fn segment_clearances(
                 .chain(srafs.iter().copied());
             for r in others {
                 let overlap_and_dist = match seg.side {
-                    EdgeSide::Right => (r.y0 < seg.span_hi && seg.span_lo < r.y1
-                        && r.x0 >= seg.edge_coord)
-                        .then(|| r.x0 - seg.edge_coord),
-                    EdgeSide::Left => (r.y0 < seg.span_hi && seg.span_lo < r.y1
-                        && r.x1 <= seg.edge_coord)
-                        .then(|| seg.edge_coord - r.x1),
-                    EdgeSide::Top => (r.x0 < seg.span_hi && seg.span_lo < r.x1
-                        && r.y0 >= seg.edge_coord)
-                        .then(|| r.y0 - seg.edge_coord),
-                    EdgeSide::Bottom => (r.x0 < seg.span_hi && seg.span_lo < r.x1
-                        && r.y1 <= seg.edge_coord)
-                        .then(|| seg.edge_coord - r.y1),
+                    EdgeSide::Right => {
+                        (r.y0 < seg.span_hi && seg.span_lo < r.y1 && r.x0 >= seg.edge_coord)
+                            .then(|| r.x0 - seg.edge_coord)
+                    }
+                    EdgeSide::Left => {
+                        (r.y0 < seg.span_hi && seg.span_lo < r.y1 && r.x1 <= seg.edge_coord)
+                            .then(|| seg.edge_coord - r.x1)
+                    }
+                    EdgeSide::Top => {
+                        (r.x0 < seg.span_hi && seg.span_lo < r.x1 && r.y0 >= seg.edge_coord)
+                            .then(|| r.y0 - seg.edge_coord)
+                    }
+                    EdgeSide::Bottom => {
+                        (r.x0 < seg.span_hi && seg.span_lo < r.x1 && r.y1 <= seg.edge_coord)
+                            .then(|| seg.edge_coord - r.y1)
+                    }
                 };
                 if let Some(d) = overlap_and_dist {
                     min_gap = min_gap.min(d);
@@ -474,11 +486,8 @@ mod tests {
         let clip = wire_clip();
         let target = clip.rasterize_raster(128, 128).binarize(0.5);
         let px = model.pixel_nm();
-        let no_opc = ganopc_litho::metrics::squared_l2_nm2(
-            &model.print_nominal(&target),
-            &target,
-            px,
-        );
+        let no_opc =
+            ganopc_litho::metrics::squared_l2_nm2(&model.print_nominal(&target), &target, px);
         let mut cfg = MbOpcConfig::fast();
         cfg.iterations = 8;
         cfg.segment_length_nm = 40;
@@ -495,10 +504,7 @@ mod tests {
     fn empty_layout_rejected() {
         let mut engine = MbOpcEngine::new(small_model(), MbOpcConfig::fast());
         let empty = Layout::new(Rect::new(0, 0, 2048, 2048));
-        assert!(matches!(
-            engine.optimize(&empty),
-            Err(MbOpcError::Fragmentation(_))
-        ));
+        assert!(matches!(engine.optimize(&empty), Err(MbOpcError::Fragmentation(_))));
     }
 
     #[test]

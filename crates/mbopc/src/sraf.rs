@@ -82,37 +82,41 @@ pub fn insert_srafs(layout: &Layout, rules: &SrafRules) -> Vec<Rect> {
         // Candidate bars along the four edges.
         let candidates = [
             // Left.
-            (rect.height() >= rules.min_edge_nm)
-                .then(|| Rect::new(
+            (rect.height() >= rules.min_edge_nm).then(|| {
+                Rect::new(
                     rect.x0 - rules.gap_nm - rules.width_nm,
                     rect.y0 + rules.end_margin_nm,
                     rect.x0 - rules.gap_nm,
                     rect.y1 - rules.end_margin_nm,
-                )),
+                )
+            }),
             // Right.
-            (rect.height() >= rules.min_edge_nm)
-                .then(|| Rect::new(
+            (rect.height() >= rules.min_edge_nm).then(|| {
+                Rect::new(
                     rect.x1 + rules.gap_nm,
                     rect.y0 + rules.end_margin_nm,
                     rect.x1 + rules.gap_nm + rules.width_nm,
                     rect.y1 - rules.end_margin_nm,
-                )),
+                )
+            }),
             // Bottom.
-            (rect.width() >= rules.min_edge_nm)
-                .then(|| Rect::new(
+            (rect.width() >= rules.min_edge_nm).then(|| {
+                Rect::new(
                     rect.x0 + rules.end_margin_nm,
                     rect.y0 - rules.gap_nm - rules.width_nm,
                     rect.x1 - rules.end_margin_nm,
                     rect.y0 - rules.gap_nm,
-                )),
+                )
+            }),
             // Top.
-            (rect.width() >= rules.min_edge_nm)
-                .then(|| Rect::new(
+            (rect.width() >= rules.min_edge_nm).then(|| {
+                Rect::new(
                     rect.x0 + rules.end_margin_nm,
                     rect.y1 + rules.gap_nm,
                     rect.x1 - rules.end_margin_nm,
                     rect.y1 + rules.gap_nm + rules.width_nm,
-                )),
+                )
+            }),
         ];
         for bar in candidates.into_iter().flatten() {
             if bar.is_empty() || !frame.contains_rect(&bar) {
@@ -121,10 +125,7 @@ pub fn insert_srafs(layout: &Layout, rules: &SrafRules) -> Vec<Rect> {
             // Isolation: the *source edge* has no neighbour within range —
             // probe a slab extending isolation_nm beyond the bar.
             let probe = bar.expand(rules.isolation_nm - rules.gap_nm - rules.width_nm);
-            let crowded = shapes
-                .iter()
-                .enumerate()
-                .any(|(j, s)| j != idx && probe.intersects(s));
+            let crowded = shapes.iter().enumerate().any(|(j, s)| j != idx && probe.intersects(s));
             if crowded {
                 continue;
             }
@@ -209,18 +210,13 @@ mod tests {
         with_bars.extend(bars.iter().copied());
         let wafer = model.print_nominal(&with_bars.rasterize_raster(128, 128));
         // No printed pixel where only a bar exists.
-        let bars_only =
-            Layout::with_shapes(frame(), bars.clone()).rasterize_raster(128, 128);
+        let bars_only = Layout::with_shapes(frame(), bars.clone()).rasterize_raster(128, 128);
         let main_only = clip.rasterize_raster(128, 128);
         for i in 0..wafer.len() {
             let bar_px = bars_only.as_slice()[i] > 0.5;
             let main_near = main_only.as_slice()[i] > 0.0;
             if bar_px && !main_near {
-                assert_eq!(
-                    wafer.as_slice()[i],
-                    0.0,
-                    "SRAF printed at pixel {i}"
-                );
+                assert_eq!(wafer.as_slice()[i], 0.0, "SRAF printed at pixel {i}");
             }
         }
     }
@@ -228,11 +224,9 @@ mod tests {
     #[test]
     fn rules_validate() {
         assert!(SrafRules::default().validate().is_ok());
-        let mut bad = SrafRules::default();
-        bad.isolation_nm = 50;
+        let bad = SrafRules { isolation_nm: 50, ..Default::default() };
         assert!(bad.validate().is_err());
-        bad = SrafRules::default();
-        bad.width_nm = 0;
+        let bad = SrafRules { width_nm: 0, ..Default::default() };
         assert!(bad.validate().is_err());
     }
 }

@@ -77,10 +77,7 @@ impl From<std::io::Error> for CheckpointError {
 
 /// Serializes a snapshot into bytes.
 pub fn to_bytes(tensors: &[Tensor]) -> Vec<u8> {
-    let payload: usize = tensors
-        .iter()
-        .map(|t| 4 + 8 * t.shape().len() + 4 * t.len())
-        .sum();
+    let payload: usize = tensors.iter().map(|t| 4 + 8 * t.shape().len() + 4 * t.len()).sum();
     let mut out = Vec::with_capacity(16 + payload);
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
@@ -123,8 +120,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Vec<Tensor>, CheckpointError> {
     let count = u32::from_le_bytes(take(&mut cursor, 4)?.try_into().expect("4 bytes")) as usize;
     let mut tensors = Vec::with_capacity(count);
     for i in 0..count {
-        let rank =
-            u32::from_le_bytes(take(&mut cursor, 4)?.try_into().expect("4 bytes")) as usize;
+        let rank = u32::from_le_bytes(take(&mut cursor, 4)?.try_into().expect("4 bytes")) as usize;
         if rank == 0 || rank > 8 {
             return Err(CheckpointError::Truncated(format!("tensor {i}: rank {rank}")));
         }
@@ -145,10 +141,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Vec<Tensor>, CheckpointError> {
         tensors.push(Tensor::from_vec(&shape, data));
     }
     if cursor != bytes.len() {
-        return Err(CheckpointError::Truncated(format!(
-            "{} trailing bytes",
-            bytes.len() - cursor
-        )));
+        return Err(CheckpointError::Truncated(format!("{} trailing bytes", bytes.len() - cursor)));
     }
     Ok(tensors)
 }

@@ -1,0 +1,404 @@
+//! Cache-blocked `f32` matrix multiplication tuned for wide fused saxpy.
+//!
+//! One blocked GEMM core serves the three layouts the layers need
+//! (`C = A·B`, `C = Aᵀ·B`, `C = A·Bᵀ`). The kernel walks `KC`×`NC` tiles of
+//! `B` (sized to stay cache-resident) and, for each depth step, streams a
+//! row of the tile into a pair of `C` rows with `f32::mul_add` — two long
+//! independent fused-multiply-add streams that LLVM turns into packed FMA
+//! vector code. This row-pair saxpy shape beats a classic packed register
+//! tile here: the wide contiguous inner loop keeps every vector lane busy
+//! without spilling accumulators.
+//!
+//! `A·Bᵀ` has no contiguous `B` rows to stream, so it either packs a
+//! transposed `B` tile first (tall products, where the pack cost amortizes
+//! over many rows) or falls back to lane-parallel dot products (short
+//! products).
+//!
+//! Large products are split across [`crate::pool`] workers along the longer
+//! `C` axis. Each worker owns a disjoint block of `C` and runs the identical
+//! serial kernel over it, so every `C[i][j]` is accumulated in the same
+//! (`k`-ascending) order regardless of the thread count — results are
+//! bit-identical for any `GANOPC_THREADS` setting.
+//!
+//! Packing scratch lives in a thread-local buffer: steady-state serial calls
+//! (and nested calls from inside pool workers) allocate nothing.
+//!
+//! `f32::mul_add` compiles to a single FMA instruction on targets with FMA
+//! (the checked-in `.cargo/config.toml` builds with `-C target-cpu=native`);
+//! without it the libm fallback is slow but still correct.
+
+use crate::pool;
+use std::cell::RefCell;
+
+/// Kernel row height: `C` rows advanced together per depth step.
+pub const MR: usize = 2;
+/// Column alignment quantum for parallel stripes (one cache line of `f32`).
+pub const NR: usize = 16;
+/// Depth-block size of a `B` tile.
+const KC: usize = 256;
+/// Column-block size of a `B` tile (`KC`×`NC`×4 B stays L2-resident).
+const NC: usize = 512;
+/// Below this many multiply-adds the parallel split is not worth the
+/// thread hand-off.
+const PAR_MIN_MULADDS: usize = 1 << 19;
+/// `A·Bᵀ` products at least this tall amortize packing a transposed tile.
+const NT_PACK_MIN_ROWS: usize = 48;
+/// `A·Bᵀ` dot products deeper than this stall on FMA latency (one
+/// accumulator chain), so packing wins even for short products.
+const NT_DOT_MAX_DEPTH: usize = 2048;
+/// Lane count of the dot-product partial sums (one AVX2 register).
+const LANES: usize = 8;
+
+/// Operand layouts: which inputs are stored transposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Layout {
+    /// `A` is `[m×k]`, `B` is `[k×n]`.
+    NN,
+    /// `A` is stored `[k×m]` (multiply with `A` transposed), `B` is `[k×n]`.
+    TN,
+    /// `A` is `[m×k]`, `B` is stored `[n×k]` (multiply with `B` transposed).
+    NT,
+}
+
+thread_local! {
+    /// Per-thread scratch for transposed `B` tiles of `A·Bᵀ` products.
+    static PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// `C[m×n] = A[m×k] · B[k×n]` into a fresh buffer.
+///
+/// # Panics
+///
+/// Panics when the buffer sizes disagree with the dimensions.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    matmul_into(&mut c, a, b, m, k, n);
+    c
+}
+
+/// `C[m×n] = Aᵀ · B[k×n]` where `A` is stored `[k×m]`, into a fresh buffer.
+///
+/// # Panics
+///
+/// Panics when the buffer sizes disagree with the dimensions.
+pub fn matmul_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    matmul_tn_into(&mut c, a, b, m, k, n);
+    c
+}
+
+/// `C[m×n] = A[m×k] · Bᵀ` where `B` is stored `[n×k]`, into a fresh buffer.
+///
+/// # Panics
+///
+/// Panics when the buffer sizes disagree with the dimensions.
+pub fn matmul_nt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    matmul_nt_into(&mut c, a, b, m, k, n);
+    c
+}
+
+/// `C[m×n] = A[m×k] · B[k×n]` written into `c` (overwritten, not accumulated).
+pub fn matmul_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "lhs size mismatch");
+    assert_eq!(b.len(), k * n, "rhs size mismatch");
+    gemm(Layout::NN, a, b, c, m, k, n);
+}
+
+/// `C[m×n] = Aᵀ · B` (`A` stored `[k×m]`) written into `c` (overwritten).
+pub fn matmul_tn_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), k * m, "lhs size mismatch");
+    assert_eq!(b.len(), k * n, "rhs size mismatch");
+    gemm(Layout::TN, a, b, c, m, k, n);
+}
+
+/// `C[m×n] = A · Bᵀ` (`B` stored `[n×k]`) written into `c` (overwritten).
+pub fn matmul_nt_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "lhs size mismatch");
+    assert_eq!(b.len(), n * k, "rhs size mismatch");
+    gemm(Layout::NT, a, b, c, m, k, n);
+}
+
+/// Dispatches a full product, splitting across pool workers when profitable.
+fn gemm(layout: Layout, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(c.len(), m * n, "output size mismatch");
+    c.fill(0.0);
+    let threads = if m * k * n < PAR_MIN_MULADDS { 1 } else { pool::max_threads() };
+    if threads <= 1 || pool::in_worker() {
+        with_pack(|pack| gemm_block(layout, a, b, m, k, n, 0, m, 0, n, c, n, pack));
+    } else if m >= n {
+        // Row split: workers own disjoint row blocks of C directly.
+        let rows_per = m.div_ceil(threads).div_ceil(MR) * MR;
+        let jobs: Vec<(usize, &mut [f32])> = c
+            .chunks_mut(rows_per * n)
+            .enumerate()
+            .map(|(t, chunk)| (t * rows_per, chunk))
+            .collect();
+        pool::run(jobs, |(i_lo, chunk)| {
+            let i_hi = i_lo + chunk.len() / n;
+            with_pack(|pack| gemm_block(layout, a, b, m, k, n, i_lo, i_hi, 0, n, chunk, n, pack));
+        });
+    } else {
+        // Column split: workers compute contiguous stripes which are copied
+        // back in stripe order (C is row-major, so column ranges of C are
+        // not expressible as disjoint `&mut` slices).
+        let cols_per = n.div_ceil(threads).div_ceil(NR) * NR;
+        let ranges: Vec<(usize, usize)> =
+            (0..n).step_by(cols_per).map(|j| (j, (j + cols_per).min(n))).collect();
+        let stripes = pool::run(ranges.clone(), |(j_lo, j_hi)| {
+            let width = j_hi - j_lo;
+            let mut local = vec![0.0f32; m * width];
+            with_pack(|pack| {
+                gemm_block(layout, a, b, m, k, n, 0, m, j_lo, j_hi, &mut local, width, pack)
+            });
+            local
+        });
+        for (&(j_lo, j_hi), stripe) in ranges.iter().zip(&stripes) {
+            let width = j_hi - j_lo;
+            for i in 0..m {
+                c[i * n + j_lo..i * n + j_hi].copy_from_slice(&stripe[i * width..][..width]);
+            }
+        }
+    }
+}
+
+/// Runs `f` with this thread's packing scratch.
+fn with_pack<R>(f: impl FnOnce(&mut Vec<f32>) -> R) -> R {
+    PACK.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+/// Serial blocked kernel computing `C[i_lo..i_hi, j_lo..j_hi] += A·B` for the
+/// given layout. `out` holds that sub-block with row stride `ldc` and must be
+/// pre-zeroed; `out[0]` corresponds to `C[i_lo][j_lo]`.
+///
+/// The accumulation order into any `C[i][j]` depends only on the problem
+/// dimensions — never on `i_lo`/`j_lo` — which is what makes the parallel
+/// splits above bit-identical to a serial run.
+#[allow(clippy::too_many_arguments)]
+fn gemm_block(
+    layout: Layout,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    i_lo: usize,
+    i_hi: usize,
+    j_lo: usize,
+    j_hi: usize,
+    out: &mut [f32],
+    ldc: usize,
+    pack: &mut Vec<f32>,
+) {
+    // Short A·Bᵀ products: lane-parallel dot products beat paying for a
+    // transposed pack. (The choice depends only on the full dimensions, so
+    // every parallel worker takes the same path.)
+    if layout == Layout::NT && m < NT_PACK_MIN_ROWS && k <= NT_DOT_MAX_DEPTH {
+        for i in i_lo..i_hi {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[(i - i_lo) * ldc..];
+            for j in j_lo..j_hi {
+                out_row[j - j_lo] = dot_lanes(a_row, &b[j * k..(j + 1) * k]);
+            }
+        }
+        return;
+    }
+    for jc in (j_lo..j_hi).step_by(NC) {
+        let nc = NC.min(j_hi - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            // Resolve the B tile: direct strided view of `b` when its rows
+            // are contiguous, a freshly transposed pack otherwise.
+            if layout == Layout::NT {
+                pack_transposed(b, k, pc, kc, jc, nc, pack);
+            }
+            let (bt, b_off, b_stride): (&[f32], usize, usize) = match layout {
+                Layout::NN | Layout::TN => (b, pc * n + jc, n),
+                Layout::NT => (pack.as_slice(), 0, nc),
+            };
+            let mut i = i_lo;
+            while i + MR <= i_hi {
+                let base = (i - i_lo) * ldc + (jc - j_lo);
+                let (row0, row1) = out[base..].split_at_mut(ldc);
+                let c0 = &mut row0[..nc];
+                let c1 = &mut row1[..nc];
+                for p in 0..kc {
+                    let (av0, av1) = match layout {
+                        Layout::NN | Layout::NT => (a[i * k + pc + p], a[(i + 1) * k + pc + p]),
+                        Layout::TN => (a[(pc + p) * m + i], a[(pc + p) * m + i + 1]),
+                    };
+                    let b_row = &bt[b_off + p * b_stride..][..nc];
+                    for ((cv0, cv1), &bv) in c0.iter_mut().zip(c1.iter_mut()).zip(b_row) {
+                        *cv0 = av0.mul_add(bv, *cv0);
+                        *cv1 = av1.mul_add(bv, *cv1);
+                    }
+                }
+                i += MR;
+            }
+            if i < i_hi {
+                let base = (i - i_lo) * ldc + (jc - j_lo);
+                let c0 = &mut out[base..base + nc];
+                for p in 0..kc {
+                    let av0 = match layout {
+                        Layout::NN | Layout::NT => a[i * k + pc + p],
+                        Layout::TN => a[(pc + p) * m + i],
+                    };
+                    let b_row = &bt[b_off + p * b_stride..][..nc];
+                    for (cv0, &bv) in c0.iter_mut().zip(b_row) {
+                        *cv0 = av0.mul_add(bv, *cv0);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Fused dot product with `LANES` independent partial sums (broken FMA
+/// latency chain, clean packed codegen); the lanes are folded sequentially
+/// at the end, so the result depends only on the operands.
+#[inline(always)]
+fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; LANES];
+    for (av, bv) in a.chunks_exact(LANES).zip(b.chunks_exact(LANES)) {
+        for l in 0..LANES {
+            acc[l] = av[l].mul_add(bv[l], acc[l]);
+        }
+    }
+    let rem = a.len() / LANES * LANES;
+    for (l, (&av, &bv)) in a[rem..].iter().zip(&b[rem..]).enumerate() {
+        acc[l] = av.mul_add(bv, acc[l]);
+    }
+    acc.iter().sum()
+}
+
+/// Packs the `B`-stored-`[n×k]` tile depth `[pc, pc+kc)` × rows `[jc, jc+nc)`
+/// into `dst` transposed to `[kc × nc]` row-major, so the saxpy kernel can
+/// stream contiguous rows.
+fn pack_transposed(
+    b: &[f32],
+    k: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    dst: &mut Vec<f32>,
+) {
+    dst.clear();
+    dst.resize(kc * nc, 0.0);
+    for (jj, src_row) in b[jc * k + pc..].chunks(k).take(nc).enumerate() {
+        for (p, &v) in src_row.iter().take(kc).enumerate() {
+            dst[p * nc + jj] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn fill(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    fn assert_close(actual: &[f32], expected: &[f32]) {
+        assert_eq!(actual.len(), expected.len());
+        for (idx, (&x, &y)) in actual.iter().zip(expected).enumerate() {
+            let tol = 1e-5f32.max(1e-5 * y.abs());
+            assert!((x - y).abs() <= tol, "element {idx}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_across_remainder_shapes() {
+        // Sizes straddle the MR/NR/KC block edges to exercise padding, and
+        // (97, 64, 11) crosses the NT pack/dot threshold.
+        for &(m, k, n) in
+            &[(1, 1, 1), (3, 5, 7), (6, 16, 16), (7, 17, 19), (13, 300, 33), (97, 64, 11)]
+        {
+            let a = fill(m * k, 1);
+            let b = fill(k * n, 2);
+            let expect = reference_nn(&a, &b, m, k, n);
+            assert_close(&matmul(&a, &b, m, k, n), &expect);
+
+            // Aᵀ stored [k×m]: transpose `a` into `at`.
+            let mut at = vec![0.0f32; k * m];
+            for i in 0..m {
+                for p in 0..k {
+                    at[p * m + i] = a[i * k + p];
+                }
+            }
+            assert_close(&matmul_tn(&at, &b, m, k, n), &expect);
+
+            // Bᵀ stored [n×k]: transpose `b` into `bt`.
+            let mut bt = vec![0.0f32; n * k];
+            for p in 0..k {
+                for j in 0..n {
+                    bt[j * k + p] = b[p * n + j];
+                }
+            }
+            assert_close(&matmul_nt(&a, &bt, m, k, n), &expect);
+        }
+    }
+
+    #[test]
+    fn into_variants_overwrite_existing_contents() {
+        let (m, k, n) = (5, 9, 8);
+        let a = fill(m * k, 3);
+        let b = fill(k * n, 4);
+        let mut c = vec![7.5f32; m * n];
+        matmul_into(&mut c, &a, &b, m, k, n);
+        assert_close(&c, &reference_nn(&a, &b, m, k, n));
+    }
+
+    #[test]
+    fn large_product_splits_deterministically() {
+        // Big enough to clear PAR_MIN_MULADDS on any thread count; the
+        // parallel result must be bitwise identical to the serial kernel.
+        let (m, k, n) = (64, 128, 160);
+        let a = fill(m * k, 5);
+        let b = fill(k * n, 6);
+        let mut serial = vec![0.0f32; m * n];
+        with_pack(|pack| gemm_block(Layout::NN, &a, &b, m, k, n, 0, m, 0, n, &mut serial, n, pack));
+        let parallel = matmul(&a, &b, m, k, n);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn nt_pack_and_dot_paths_agree_within_tolerance() {
+        // Tall product takes the packed path, short takes the dot path;
+        // both must match the reference. (97 rows with k > threshold also
+        // exercises pack on a non-multiple-of-MR height.)
+        for &(m, k, n) in &[(NT_PACK_MIN_ROWS, 33, 21), (NT_PACK_MIN_ROWS - 1, 33, 21)] {
+            let a = fill(m * k, 7);
+            let b = fill(k * n, 8);
+            let expect = reference_nn(&a, &b, m, k, n);
+            let mut bt = vec![0.0f32; n * k];
+            for p in 0..k {
+                for j in 0..n {
+                    bt[j * k + p] = b[p * n + j];
+                }
+            }
+            assert_close(&matmul_nt(&a, &bt, m, k, n), &expect);
+        }
+    }
+}

@@ -69,6 +69,7 @@ impl Layer for BatchNorm2d {
         let mut inv_stds = vec![0.0f32; c];
         let mut xhat = Tensor::zeros(&[n, c, h, w]);
 
+        #[allow(clippy::needless_range_loop)]
         for ci in 0..c {
             let (mean, var) = if train {
                 let mut mean = 0.0f32;
@@ -117,6 +118,7 @@ impl Layer for BatchNorm2d {
         let plane = h * w;
         let count = (n * plane) as f32;
         let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+        #[allow(clippy::needless_range_loop)]
         for ci in 0..c {
             let g = self.gamma.value.as_slice()[ci];
             // Channel-wise sums of gO and gO ⊙ x̂.
@@ -138,8 +140,7 @@ impl Layer for BatchNorm2d {
                 for i in base..base + plane {
                     let go = grad_out.as_slice()[i];
                     let xh = xhat.as_slice()[i];
-                    grad_in.as_mut_slice()[i] =
-                        k * (go - sum_g / count - xh * sum_gx / count);
+                    grad_in.as_mut_slice()[i] = k * (go - sum_g / count - xh * sum_gx / count);
                 }
             }
         }

@@ -1,8 +1,27 @@
 //! 2-D convolution and transposed convolution.
+//!
+//! Both layers lower to GEMM via im2col/col2im per batch sample; the
+//! per-sample work is independent, so forward and backward fan the samples
+//! out over [`crate::pool`]. Weight and bias gradients are reduced from the
+//! per-sample partials sequentially in sample order, which keeps training
+//! bit-identical across thread counts. Column matrices live in per-sample
+//! scratch vectors owned by the layer and are reused across steps.
 
-use super::{col2im, conv_out_size, deconv_out_size, im2col, Layer, Param};
-use crate::tensor::{matmul, matmul_nt, matmul_tn};
-use crate::{init, Tensor};
+use super::{col2im_into, conv_out_size, deconv_out_size, im2col_into, Layer, Param};
+use crate::gemm::{matmul_into, matmul_nt, matmul_tn_into};
+use crate::{init, pool, Tensor};
+
+/// One pool job per batch sample: `(sample index, (column scratch, output
+/// slice))` — the slices are disjoint `chunks_mut` of the output tensor.
+type SampleJobs<'a> = Vec<(usize, (&'a mut Vec<f32>, &'a mut [f32]))>;
+
+/// Grows `bufs` to one scratch vector per batch sample, preserving already
+/// allocated capacity.
+fn per_sample_scratch(bufs: &mut Vec<Vec<f32>>, n: usize) {
+    if bufs.len() < n {
+        bufs.resize_with(n, Vec::new);
+    }
+}
 
 /// 2-D convolution over `[N, C, H, W]` tensors.
 ///
@@ -24,8 +43,11 @@ pub struct Conv2d {
     pad: usize,
     weight: Param,
     bias: Param,
-    /// Cached per-batch-item column matrices from the last forward.
+    /// Cached per-batch-item column matrices from the last forward (reused
+    /// as scratch across steps).
     cache_cols: Vec<Vec<f32>>,
+    /// Per-batch-item scratch for the backward column gradients.
+    scratch_dcols: Vec<Vec<f32>>,
     cache_in_shape: Option<(usize, usize, usize, usize)>,
 }
 
@@ -35,7 +57,14 @@ impl Conv2d {
     /// # Panics
     ///
     /// Panics on zero channels, kernel or stride.
-    pub fn new(in_ch: usize, out_ch: usize, k: usize, stride: usize, pad: usize, seed: u64) -> Self {
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        seed: u64,
+    ) -> Self {
         assert!(in_ch > 0 && out_ch > 0 && k > 0 && stride > 0, "degenerate conv geometry");
         Conv2d {
             in_ch,
@@ -46,6 +75,7 @@ impl Conv2d {
             weight: Param::new(init::he_normal(&[out_ch, in_ch, k, k], seed)),
             bias: Param::new(Tensor::zeros(&[out_ch])),
             cache_cols: Vec::new(),
+            scratch_dcols: Vec::new(),
             cache_in_shape: None,
         }
     }
@@ -69,22 +99,28 @@ impl Layer for Conv2d {
         let ow = conv_out_size(w, self.k, self.stride, self.pad);
         let ckk = self.in_ch * self.k * self.k;
         let plane = oh * ow;
-        let mut out = Tensor::zeros(&[n, self.out_ch, oh, ow]);
-        self.cache_cols.clear();
-        for ni in 0..n {
-            let img = &input.as_slice()[ni * c * h * w..(ni + 1) * c * h * w];
-            let cols = im2col(img, c, h, w, self.k, self.stride, self.pad);
-            let y = matmul(self.weight.value.as_slice(), &cols, self.out_ch, ckk, plane);
-            let dst = &mut out.as_mut_slice()[ni * self.out_ch * plane..(ni + 1) * self.out_ch * plane];
-            dst.copy_from_slice(&y);
-            for oc in 0..self.out_ch {
-                let b = self.bias.value.as_slice()[oc];
-                for v in &mut dst[oc * plane..(oc + 1) * plane] {
+        let (k, stride, pad, out_ch) = (self.k, self.stride, self.pad, self.out_ch);
+        let mut out = Tensor::zeros(&[n, out_ch, oh, ow]);
+        per_sample_scratch(&mut self.cache_cols, n);
+        let weight = self.weight.value.as_slice();
+        let bias = self.bias.value.as_slice();
+        let input_data = input.as_slice();
+        let jobs: SampleJobs = self
+            .cache_cols
+            .iter_mut()
+            .zip(out.as_mut_slice().chunks_mut(out_ch * plane))
+            .enumerate()
+            .collect();
+        pool::run(jobs, |(ni, (cols, dst))| {
+            let img = &input_data[ni * c * h * w..][..c * h * w];
+            im2col_into(cols, img, c, h, w, k, stride, pad);
+            matmul_into(dst, weight, cols, out_ch, ckk, plane);
+            for (drow, &b) in dst.chunks_mut(plane).zip(bias) {
+                for v in drow {
                     *v += b;
                 }
             }
-            self.cache_cols.push(cols);
-        }
+        });
         self.cache_in_shape = Some((n, c, h, w));
         out
     }
@@ -95,24 +131,42 @@ impl Layer for Conv2d {
         assert_eq!((gn, gc), (n, self.out_ch), "grad_out batch/channel mismatch");
         let ckk = self.in_ch * self.k * self.k;
         let plane = oh * ow;
+        let (k, stride, pad, out_ch) = (self.k, self.stride, self.pad, self.out_ch);
         let mut grad_in = Tensor::zeros(&[n, c, h, w]);
-        for ni in 0..n {
-            let go = &grad_out.as_slice()[ni * self.out_ch * plane..(ni + 1) * self.out_ch * plane];
-            let cols = &self.cache_cols[ni];
-            // dW += gO · colsᵀ ; cols is [ckk × plane], gO is [oc × plane].
-            let dw = matmul_nt(go, cols, self.out_ch, plane, ckk);
-            for (g, d) in self.weight.grad.as_mut_slice().iter_mut().zip(&dw) {
+        per_sample_scratch(&mut self.scratch_dcols, n);
+        let weight = self.weight.value.as_slice();
+        let grad_out_data = grad_out.as_slice();
+        let cache_cols = &self.cache_cols;
+        let jobs: SampleJobs = self
+            .scratch_dcols
+            .iter_mut()
+            .zip(grad_in.as_mut_slice().chunks_mut(c * h * w))
+            .enumerate()
+            .collect();
+        let partials = pool::run(jobs, |(ni, (dcols, gi))| {
+            let go = &grad_out_data[ni * out_ch * plane..][..out_ch * plane];
+            let cols = &cache_cols[ni];
+            // dW_ni = gO · colsᵀ ; cols is [ckk × plane], gO is [oc × plane].
+            let dw = matmul_nt(go, cols, out_ch, plane, ckk);
+            // db_ni = Σ_spatial gO.
+            let db: Vec<f32> = go.chunks_exact(plane).map(|row| row.iter().sum()).collect();
+            // d cols = Wᵀ · gO; W stored [oc × ckk]; fold back onto the
+            // input grid directly in this sample's grad_in slice.
+            dcols.clear();
+            dcols.resize(ckk * plane, 0.0);
+            matmul_tn_into(dcols, weight, go, ckk, out_ch, plane);
+            col2im_into(gi, dcols, c, h, w, k, stride, pad);
+            (dw, db)
+        });
+        // Reduce weight/bias gradients in sample order — the summation
+        // order (and hence the result bits) is thread-count independent.
+        for (dw, db) in &partials {
+            for (g, d) in self.weight.grad.as_mut_slice().iter_mut().zip(dw) {
                 *g += d;
             }
-            // db += Σ_spatial gO.
-            for oc in 0..self.out_ch {
-                let s: f32 = go[oc * plane..(oc + 1) * plane].iter().sum();
-                self.bias.grad.as_mut_slice()[oc] += s;
+            for (g, d) in self.bias.grad.as_mut_slice().iter_mut().zip(db) {
+                *g += d;
             }
-            // d cols = Wᵀ · gO; W stored [oc × ckk].
-            let dcols = matmul_tn(self.weight.value.as_slice(), go, ckk, self.out_ch, plane);
-            let dimg = col2im(&dcols, c, h, w, self.k, self.stride, self.pad);
-            grad_in.as_mut_slice()[ni * c * h * w..(ni + 1) * c * h * w].copy_from_slice(&dimg);
         }
         grad_in
     }
@@ -151,6 +205,10 @@ pub struct ConvTranspose2d {
     weight: Param,
     bias: Param,
     cache_input: Option<Tensor>,
+    /// Per-batch-item scratch for the forward column matrices.
+    scratch_cols: Vec<Vec<f32>>,
+    /// Per-batch-item scratch for the backward column gradients.
+    scratch_gcols: Vec<Vec<f32>>,
 }
 
 impl ConvTranspose2d {
@@ -159,7 +217,14 @@ impl ConvTranspose2d {
     /// # Panics
     ///
     /// Panics on zero channels, kernel or stride.
-    pub fn new(in_ch: usize, out_ch: usize, k: usize, stride: usize, pad: usize, seed: u64) -> Self {
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        seed: u64,
+    ) -> Self {
         assert!(in_ch > 0 && out_ch > 0 && k > 0 && stride > 0, "degenerate deconv geometry");
         ConvTranspose2d {
             in_ch,
@@ -170,6 +235,8 @@ impl ConvTranspose2d {
             weight: Param::new(init::he_normal(&[in_ch, out_ch, k, k], seed)),
             bias: Param::new(Tensor::zeros(&[out_ch])),
             cache_input: None,
+            scratch_cols: Vec::new(),
+            scratch_gcols: Vec::new(),
         }
     }
 
@@ -193,23 +260,34 @@ impl Layer for ConvTranspose2d {
         let okk = self.out_ch * self.k * self.k;
         let in_plane = ih * iw;
         let out_plane = oh * ow;
-        let mut out = Tensor::zeros(&[n, self.out_ch, oh, ow]);
-        for ni in 0..n {
-            let x = &input.as_slice()[ni * c * in_plane..(ni + 1) * c * in_plane];
+        let (k, stride, pad, in_ch, out_ch) =
+            (self.k, self.stride, self.pad, self.in_ch, self.out_ch);
+        let mut out = Tensor::zeros(&[n, out_ch, oh, ow]);
+        per_sample_scratch(&mut self.scratch_cols, n);
+        let weight = self.weight.value.as_slice();
+        let bias = self.bias.value.as_slice();
+        let input_data = input.as_slice();
+        let jobs: SampleJobs = self
+            .scratch_cols
+            .iter_mut()
+            .zip(out.as_mut_slice().chunks_mut(out_ch * out_plane))
+            .enumerate()
+            .collect();
+        pool::run(jobs, |(ni, (cols, dst))| {
+            let x = &input_data[ni * c * in_plane..][..c * in_plane];
             // cols [okk × in_plane] = Wᵀ · x, with W stored [in_ch × okk].
-            let cols = matmul_tn(self.weight.value.as_slice(), x, okk, self.in_ch, in_plane);
+            cols.clear();
+            cols.resize(okk * in_plane, 0.0);
+            matmul_tn_into(cols, weight, x, okk, in_ch, in_plane);
             // Scatter back onto the (larger) output grid: transposed conv is
             // the adjoint of a conv from [oh×ow] down to [ih×iw].
-            let y = col2im(&cols, self.out_ch, oh, ow, self.k, self.stride, self.pad);
-            let dst = &mut out.as_mut_slice()[ni * self.out_ch * out_plane..(ni + 1) * self.out_ch * out_plane];
-            dst.copy_from_slice(&y);
-            for oc in 0..self.out_ch {
-                let b = self.bias.value.as_slice()[oc];
-                for v in &mut dst[oc * out_plane..(oc + 1) * out_plane] {
+            col2im_into(dst, cols, out_ch, oh, ow, k, stride, pad);
+            for (drow, &b) in dst.chunks_mut(out_plane).zip(bias) {
+                for v in drow {
                     *v += b;
                 }
             }
-        }
+        });
         self.cache_input = Some(input.clone());
         out
     }
@@ -221,24 +299,39 @@ impl Layer for ConvTranspose2d {
         let okk = self.out_ch * self.k * self.k;
         let in_plane = ih * iw;
         let out_plane = oh * ow;
+        let (k, stride, pad, in_ch, out_ch) =
+            (self.k, self.stride, self.pad, self.in_ch, self.out_ch);
         let mut grad_in = Tensor::zeros(&[n, c, ih, iw]);
-        for ni in 0..n {
-            let go = &grad_out.as_slice()[ni * self.out_ch * out_plane..(ni + 1) * self.out_ch * out_plane];
+        per_sample_scratch(&mut self.scratch_gcols, n);
+        let weight = self.weight.value.as_slice();
+        let grad_out_data = grad_out.as_slice();
+        let input_data = input.as_slice();
+        let jobs: SampleJobs = self
+            .scratch_gcols
+            .iter_mut()
+            .zip(grad_in.as_mut_slice().chunks_mut(c * in_plane))
+            .enumerate()
+            .collect();
+        let partials = pool::run(jobs, |(ni, (gcols, gi))| {
+            let go = &grad_out_data[ni * out_ch * out_plane..][..out_ch * out_plane];
             // Adjoint of the forward scatter: gather with im2col.
-            let gcols = im2col(go, self.out_ch, oh, ow, self.k, self.stride, self.pad);
+            im2col_into(gcols, go, out_ch, oh, ow, k, stride, pad);
             debug_assert_eq!(gcols.len(), okk * in_plane);
             // grad_in [in_ch × in_plane] = W · gcols.
-            let gi = matmul(self.weight.value.as_slice(), &gcols, self.in_ch, okk, in_plane);
-            grad_in.as_mut_slice()[ni * c * in_plane..(ni + 1) * c * in_plane].copy_from_slice(&gi);
-            // dW [in_ch × okk] += x · gcolsᵀ.
-            let x = &input.as_slice()[ni * c * in_plane..(ni + 1) * c * in_plane];
-            let dw = matmul_nt(x, &gcols, self.in_ch, in_plane, okk);
-            for (g, d) in self.weight.grad.as_mut_slice().iter_mut().zip(&dw) {
+            matmul_into(gi, weight, gcols, in_ch, okk, in_plane);
+            // dW_ni [in_ch × okk] = x · gcolsᵀ.
+            let x = &input_data[ni * c * in_plane..][..c * in_plane];
+            let dw = matmul_nt(x, gcols, in_ch, in_plane, okk);
+            let db: Vec<f32> = go.chunks_exact(out_plane).map(|row| row.iter().sum()).collect();
+            (dw, db)
+        });
+        // Fixed sample-order reduction: thread-count independent bits.
+        for (dw, db) in &partials {
+            for (g, d) in self.weight.grad.as_mut_slice().iter_mut().zip(dw) {
                 *g += d;
             }
-            for oc in 0..self.out_ch {
-                let s: f32 = go[oc * out_plane..(oc + 1) * out_plane].iter().sum();
-                self.bias.grad.as_mut_slice()[oc] += s;
+            for (g, d) in self.bias.grad.as_mut_slice().iter_mut().zip(db) {
+                *g += d;
             }
         }
         grad_in
@@ -340,8 +433,10 @@ mod tests {
         let y = init::uniform(&[1, 1, 6, 6], -1.0, 1.0, 14);
         let cx = conv.forward(&x, true);
         let dy = deconv.forward(&y, true);
-        let lhs: f64 = cx.as_slice().iter().zip(y.as_slice()).map(|(&a, &b)| a as f64 * b as f64).sum();
-        let rhs: f64 = x.as_slice().iter().zip(dy.as_slice()).map(|(&a, &b)| a as f64 * b as f64).sum();
+        let lhs: f64 =
+            cx.as_slice().iter().zip(y.as_slice()).map(|(&a, &b)| a as f64 * b as f64).sum();
+        let rhs: f64 =
+            x.as_slice().iter().zip(dy.as_slice()).map(|(&a, &b)| a as f64 * b as f64).sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
     }
 

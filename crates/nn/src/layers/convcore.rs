@@ -27,8 +27,19 @@ pub fn deconv_out_size(input: usize, kernel: usize, stride: usize, pad: usize) -
     grown - 2 * pad
 }
 
-/// Unfolds one `[C, H, W]` image into a `[(C·k·k) × (OH·OW)]` column matrix
-/// for stride-`s`, zero-pad-`p` convolution with a `k × k` kernel.
+/// Range of output positions `o` whose input tap `o·s + tap − p` lands
+/// inside `[0, limit)`. Hoisting this out of the copy loops removes every
+/// per-element padding branch in im2col/col2im.
+#[inline]
+fn tap_range(out: usize, limit: usize, tap: usize, s: usize, p: usize) -> (usize, usize) {
+    let lo = if tap < p { (p - tap).div_ceil(s) } else { 0 };
+    let hi = if limit + p > tap { ((limit + p - tap - 1) / s + 1).min(out) } else { 0 };
+    (lo, hi.max(lo))
+}
+
+/// Allocating convenience wrapper over [`im2col_into`] (test-only; the
+/// layers always reuse scratch).
+#[cfg(test)]
 pub fn im2col(
     input: &[f32],
     c: usize,
@@ -38,39 +49,65 @@ pub fn im2col(
     s: usize,
     p: usize,
 ) -> Vec<f32> {
+    let mut cols = Vec::new();
+    im2col_into(&mut cols, input, c, h, w, k, s, p);
+    cols
+}
+
+/// Unfolds one `[C, H, W]` image into a `[(C·k·k) × (OH·OW)]` column matrix
+/// for stride-`s`, zero-pad-`p` convolution with a `k × k` kernel. `cols` is
+/// resized and overwritten, so a caller-owned scratch vector amortizes the
+/// allocation across calls.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_into(
+    cols: &mut Vec<f32>,
+    input: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    s: usize,
+    p: usize,
+) {
     debug_assert_eq!(input.len(), c * h * w);
     let oh = conv_out_size(h, k, s, p);
     let ow = conv_out_size(w, k, s, p);
-    let mut cols = vec![0.0f32; c * k * k * oh * ow];
+    // clear + resize zero-fills even when the buffer is being reused, which
+    // the padding positions (never written below) rely on.
+    cols.clear();
+    cols.resize(c * k * k * oh * ow, 0.0);
     let out_plane = oh * ow;
     for ci in 0..c {
         let img = &input[ci * h * w..(ci + 1) * h * w];
         for kh in 0..k {
+            let (oy_lo, oy_hi) = tap_range(oh, h, kh, s, p);
             for kw in 0..k {
+                let (ox_lo, ox_hi) = tap_range(ow, w, kw, s, p);
+                let n = ox_hi - ox_lo;
+                if n == 0 {
+                    continue;
+                }
                 let row = ((ci * k + kh) * k + kw) * out_plane;
-                for oy in 0..oh {
-                    let iy = (oy * s + kh) as isize - p as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    let src_row = iy as usize * w;
-                    let dst_row = row + oy * ow;
-                    for ox in 0..ow {
-                        let ix = (ox * s + kw) as isize - p as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
+                for oy in oy_lo..oy_hi {
+                    let src0 = (oy * s + kh - p) * w + ox_lo * s + kw - p;
+                    let dst0 = row + oy * ow + ox_lo;
+                    if s == 1 {
+                        cols[dst0..dst0 + n].copy_from_slice(&img[src0..src0 + n]);
+                    } else {
+                        let src = img[src0..].iter().step_by(s);
+                        for (d, &v) in cols[dst0..dst0 + n].iter_mut().zip(src) {
+                            *d = v;
                         }
-                        cols[dst_row + ox] = img[src_row + ix as usize];
                     }
                 }
             }
         }
     }
-    cols
 }
 
-/// Folds a `[(C·k·k) × (OH·OW)]` column matrix back into a `[C, H, W]`
-/// image by scatter-add — the adjoint of [`im2col`].
+/// Allocating convenience wrapper over [`col2im_into`] (test-only; the
+/// layers always reuse scratch).
+#[cfg(test)]
 #[allow(clippy::too_many_arguments)]
 pub fn col2im(
     cols: &[f32],
@@ -81,35 +118,60 @@ pub fn col2im(
     s: usize,
     p: usize,
 ) -> Vec<f32> {
+    let mut img = vec![0.0f32; c * h * w];
+    col2im_into(&mut img, cols, c, h, w, k, s, p);
+    img
+}
+
+/// Folds a `[(C·k·k) × (OH·OW)]` column matrix back into a caller-owned
+/// `[C, H, W]` slice by scatter-add — the adjoint of [`im2col_into`]. The
+/// slice is overwritten (not accumulated), which lets the conv layers fold
+/// straight into an output tensor.
+#[allow(clippy::too_many_arguments)]
+pub fn col2im_into(
+    img: &mut [f32],
+    cols: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    s: usize,
+    p: usize,
+) {
     let oh = conv_out_size(h, k, s, p);
     let ow = conv_out_size(w, k, s, p);
     debug_assert_eq!(cols.len(), c * k * k * oh * ow);
-    let mut img = vec![0.0f32; c * h * w];
+    debug_assert_eq!(img.len(), c * h * w);
+    img.fill(0.0);
     let out_plane = oh * ow;
     for ci in 0..c {
         let dst = &mut img[ci * h * w..(ci + 1) * h * w];
         for kh in 0..k {
+            let (oy_lo, oy_hi) = tap_range(oh, h, kh, s, p);
             for kw in 0..k {
+                let (ox_lo, ox_hi) = tap_range(ow, w, kw, s, p);
+                let n = ox_hi - ox_lo;
+                if n == 0 {
+                    continue;
+                }
                 let row = ((ci * k + kh) * k + kw) * out_plane;
-                for oy in 0..oh {
-                    let iy = (oy * s + kh) as isize - p as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    let dst_row = iy as usize * w;
-                    let src_row = row + oy * ow;
-                    for ox in 0..ow {
-                        let ix = (ox * s + kw) as isize - p as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
+                for oy in oy_lo..oy_hi {
+                    let dst0 = (oy * s + kh - p) * w + ox_lo * s + kw - p;
+                    let src0 = row + oy * ow + ox_lo;
+                    let src = &cols[src0..src0 + n];
+                    if s == 1 {
+                        for (d, &v) in dst[dst0..dst0 + n].iter_mut().zip(src) {
+                            *d += v;
                         }
-                        dst[dst_row + ix as usize] += cols[src_row + ox];
+                    } else {
+                        for (d, &v) in dst[dst0..].iter_mut().step_by(s).zip(src) {
+                            *d += v;
+                        }
                     }
                 }
             }
         }
     }
-    img
 }
 
 #[cfg(test)]
@@ -147,7 +209,7 @@ mod tests {
         let input = vec![1.0, 2.0, 3.0, 4.0];
         let cols = im2col(&input, 1, 2, 2, 3, 1, 1);
         let plane = 4;
-        let center = ((1 * 3) + 1) * plane;
+        let center = (3 + 1) * plane;
         assert_eq!(&cols[center..center + 4], &input[..]);
         // Top-left tap (kh=0,kw=0) sees zero padding except at (1,1) where
         // it reads input (0,0).

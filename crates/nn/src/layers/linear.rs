@@ -68,7 +68,13 @@ impl Layer for Linear {
         let (gn, go) = grad_out.dims2();
         assert_eq!((gn, go), (n, self.out_features), "grad_out shape mismatch");
         // dW [out × in] += gOᵀ [out × n] · x [n × in].
-        let dw = matmul_tn(grad_out.as_slice(), input.as_slice(), self.out_features, n, self.in_features);
+        let dw = matmul_tn(
+            grad_out.as_slice(),
+            input.as_slice(),
+            self.out_features,
+            n,
+            self.in_features,
+        );
         for (g, d) in self.weight.grad.as_mut_slice().iter_mut().zip(&dw) {
             *g += d;
         }

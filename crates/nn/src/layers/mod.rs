@@ -24,7 +24,7 @@ pub use flatten::Flatten;
 pub use linear::Linear;
 pub use pooling::AvgPool2d;
 
-pub(crate) use convcore::{col2im, conv_out_size, deconv_out_size, im2col};
+pub(crate) use convcore::{col2im_into, conv_out_size, deconv_out_size, im2col_into};
 
 use crate::{NnError, Tensor};
 
@@ -237,11 +237,8 @@ impl Sequential {
             match params.get(idx) {
                 Some(t) if t.len() == b.len() => b.copy_from_slice(t.as_slice()),
                 Some(t) => {
-                    err = Some(format!(
-                        "buffer {idx}: expected length {}, got {}",
-                        b.len(),
-                        t.len()
-                    ))
+                    err =
+                        Some(format!("buffer {idx}: expected length {}, got {}", b.len(), t.len()))
                 }
                 None => err = Some(format!("snapshot ends at buffer {idx}")),
             }
@@ -303,10 +300,7 @@ pub(crate) mod gradcheck {
             let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
             let an = grad_in.as_slice()[i];
             let denom = fd.abs().max(an.abs()).max(0.3);
-            assert!(
-                (fd - an).abs() / denom < tol,
-                "input grad at {i}: fd {fd} vs analytic {an}"
-            );
+            assert!((fd - an).abs() / denom < tol, "input grad at {i}: fd {fd} vs analytic {an}");
         }
     }
 
@@ -329,6 +323,7 @@ pub(crate) mod gradcheck {
         let eps = 1e-2f32;
         let mut n_params = 0usize;
         layer.visit_params(&mut |_| n_params += 1);
+        #[allow(clippy::needless_range_loop)]
         for pi in 0..n_params {
             let len = analytic[pi].len();
             for probe in 0..len.min(12) {

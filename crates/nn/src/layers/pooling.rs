@@ -70,8 +70,10 @@ impl Layer for AvgPool2d {
         let mut grad_in = Tensor::zeros(&[n, c, h, w]);
         for ni in 0..n {
             for ci in 0..c {
-                let src = &grad_out.as_slice()[(ni * c + ci) * oh * ow..(ni * c + ci + 1) * oh * ow];
-                let dst = &mut grad_in.as_mut_slice()[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
+                let src =
+                    &grad_out.as_slice()[(ni * c + ci) * oh * ow..(ni * c + ci + 1) * oh * ow];
+                let dst =
+                    &mut grad_in.as_mut_slice()[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
                 for oy in 0..oh {
                     for ox in 0..ow {
                         let g = src[oy * ow + ox] * norm;

@@ -33,10 +33,12 @@
 //! ```
 
 pub mod checkpoint;
+pub mod gemm;
 pub mod init;
 pub mod layers;
 pub mod loss;
 pub mod optim;
+pub mod pool;
 mod tensor;
 
 pub use tensor::Tensor;

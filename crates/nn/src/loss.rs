@@ -99,11 +99,7 @@ pub fn bce_scalar_label(p: &Tensor, label: f32) -> (f64, Tensor) {
 mod tests {
     use super::*;
 
-    fn fd_check(
-        f: &dyn Fn(&Tensor) -> (f64, Tensor),
-        x: &Tensor,
-        tol: f32,
-    ) {
+    fn fd_check(f: &dyn Fn(&Tensor) -> (f64, Tensor), x: &Tensor, tol: f32) {
         let (_, grad) = f(x);
         let eps = 1e-3f32;
         for i in 0..x.len() {

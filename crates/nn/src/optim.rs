@@ -76,11 +76,8 @@ impl Sgd {
                 p.value.shape(),
                 "optimizer state mismatch: was this optimizer used with another network?"
             );
-            for ((vi, &gi), wi) in v
-                .as_mut_slice()
-                .iter_mut()
-                .zip(p.grad.as_slice())
-                .zip(p.value.as_mut_slice())
+            for ((vi, &gi), wi) in
+                v.as_mut_slice().iter_mut().zip(p.grad.as_slice()).zip(p.value.as_mut_slice())
             {
                 *vi = mu * *vi - lr * gi;
                 *wi += *vi;
@@ -185,10 +182,7 @@ mod tests {
         let x = init::uniform(&[32, 2], -1.0, 1.0, 3);
         let y = Tensor::from_vec(
             &[32, 1],
-            x.as_slice()
-                .chunks_exact(2)
-                .map(|c| 2.0 * c[0] - c[1] + 0.5)
-                .collect(),
+            x.as_slice().chunks_exact(2).map(|c| 2.0 * c[0] - c[1] + 0.5).collect(),
         );
         let mut last = f64::INFINITY;
         for _ in 0..300 {

@@ -1,0 +1,153 @@
+//! Shared scoped-worker utility for the compute hot paths.
+//!
+//! Every parallel site in the workspace (GEMM row/column blocks, per-sample
+//! convolution lowering, the Hopkins kernel loops in `ganopc-litho`, the
+//! per-sample lithography gradients in `ganopc-core`) funnels through
+//! [`run`]. Centralizing this gives three guarantees:
+//!
+//! * **One knob.** `GANOPC_THREADS` caps every pool in the process; the
+//!   default is [`std::thread::available_parallelism`]. The variable is read
+//!   fresh on each call so tests can toggle it at runtime.
+//! * **Deterministic results.** Jobs are split into contiguous chunks and the
+//!   per-job results are returned **in job order**, regardless of how many
+//!   workers ran them. Callers that reduce (sum gradients, accumulate error)
+//!   do so sequentially over that ordered vector, so floating-point results
+//!   are bit-identical for any thread count.
+//! * **No oversubscription.** A job that itself calls [`run`] (e.g. a GEMM
+//!   inside a per-sample convolution job) executes the nested call inline on
+//!   the worker thread instead of spawning a second generation of threads.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Set while a pool worker is executing jobs; nested [`run`] calls on
+    /// such a thread degrade to the serial path.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Maximum number of worker threads a [`run`] call may use.
+///
+/// Reads the `GANOPC_THREADS` environment variable on every call (values
+/// `< 1` or unparsable fall back to the default) so the override can be
+/// changed between training steps, e.g. by the determinism tests.
+pub fn max_threads() -> usize {
+    std::env::var("GANOPC_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// True when the calling thread is already a pool worker (nested parallel
+/// sections run inline).
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|w| w.get())
+}
+
+/// Runs `f` over `jobs` on up to [`max_threads`] scoped workers and returns
+/// the results **in job order**.
+///
+/// Jobs are assigned to workers as contiguous chunks, so a job may borrow
+/// disjoint `&mut` slices of a caller-owned buffer (hand them out with
+/// `chunks_mut` before calling). Runs inline when the pool is capped at one
+/// thread, when there is a single job, or when called from inside another
+/// [`run`] job.
+///
+/// # Panics
+///
+/// Propagates a panic from any job after all workers have joined.
+pub fn run<J, R, F>(jobs: Vec<J>, f: F) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+    F: Fn(J) -> R + Sync,
+{
+    let threads = max_threads().min(jobs.len());
+    if threads <= 1 || in_worker() {
+        return jobs.into_iter().map(f).collect();
+    }
+
+    let total = jobs.len();
+    let chunk_len = total.div_ceil(threads);
+    let mut batches: Vec<Vec<J>> = Vec::with_capacity(threads);
+    let mut jobs = jobs;
+    // Peel chunks off the back so each batch is built without reallocation,
+    // then restore front-to-back order.
+    while !jobs.is_empty() {
+        let at = jobs.len().saturating_sub(chunk_len);
+        batches.push(jobs.split_off(at));
+    }
+    batches.reverse();
+
+    let f = &f;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = batches
+            .into_iter()
+            .map(|batch| {
+                scope.spawn(move |_| {
+                    IN_WORKER.with(|w| w.set(true));
+                    batch.into_iter().map(f).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(total);
+        for handle in handles {
+            out.extend(handle.join().expect("pool worker panicked"));
+        }
+        out
+    })
+    .expect("pool scope panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_preserve_job_order() {
+        let jobs: Vec<usize> = (0..100).collect();
+        let out = run(jobs, |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_may_own_disjoint_mut_slices() {
+        let mut data = vec![0u32; 64];
+        let jobs: Vec<(usize, &mut [u32])> = data.chunks_mut(16).enumerate().collect();
+        run(jobs, |(idx, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = idx as u32;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v as usize, i / 16);
+        }
+    }
+
+    #[test]
+    fn nested_run_executes_inline() {
+        let outer: Vec<usize> = (0..8).collect();
+        let nested_inline = run(outer, |_| {
+            // From inside a worker (or inline when capped at one thread), a
+            // nested call must not spawn another generation of workers.
+            let was_worker = in_worker();
+            let inner = run(vec![1usize, 2, 3], |x| x * x);
+            (was_worker || max_threads() == 1, inner)
+        });
+        for (ok, inner) in nested_inline {
+            assert!(ok);
+            assert_eq!(inner, vec![1, 4, 9]);
+        }
+    }
+
+    #[test]
+    fn env_override_caps_threads() {
+        // `max_threads` re-reads the variable each call.
+        std::env::set_var("GANOPC_THREADS", "3");
+        assert_eq!(max_threads(), 3);
+        std::env::set_var("GANOPC_THREADS", "not-a-number");
+        assert!(max_threads() >= 1);
+        std::env::remove_var("GANOPC_THREADS");
+        assert!(max_threads() >= 1);
+    }
+}

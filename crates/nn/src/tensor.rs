@@ -1,6 +1,11 @@
 //! Dense `f32` tensors with NCHW conventions.
 
+use crate::pool;
 use serde::{Deserialize, Serialize};
+
+/// Minimum element count before an element-wise op is split across the
+/// worker pool; below this the thread hand-off costs more than it saves.
+const PAR_ELEMWISE_MIN: usize = 1 << 16;
 
 /// A dense row-major tensor of up to four dimensions.
 ///
@@ -145,35 +150,47 @@ impl Tensor {
         self
     }
 
-    /// Element-wise map into a new tensor.
-    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+    /// Element-wise map into a new tensor (parallel for large tensors).
+    pub fn map<F: Fn(f32) -> f32 + Sync>(&self, f: F) -> Tensor {
+        let mut data = self.data.clone();
+        par_unary(&mut data, |chunk| {
+            for v in chunk {
+                *v = f(*v);
+            }
+        });
+        Tensor { shape: self.shape.clone(), data }
     }
 
-    /// `self + other`, element-wise.
+    /// `self + other`, element-wise (parallel for large tensors).
     ///
     /// # Panics
     ///
     /// Panics on shape mismatch.
     pub fn add(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape, other.shape, "tensor add shape mismatch");
-        Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| a + b).collect(),
-        }
+        let mut data = self.data.clone();
+        par_binary(&mut data, &other.data, |dst, src| {
+            for (a, &b) in dst.iter_mut().zip(src) {
+                *a += b;
+            }
+        });
+        Tensor { shape: self.shape.clone(), data }
     }
 
-    /// `self - other`, element-wise.
+    /// `self - other`, element-wise (parallel for large tensors).
     ///
     /// # Panics
     ///
     /// Panics on shape mismatch.
     pub fn sub(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape, other.shape, "tensor sub shape mismatch");
-        Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| a - b).collect(),
-        }
+        let mut data = self.data.clone();
+        par_binary(&mut data, &other.data, |dst, src| {
+            for (a, &b) in dst.iter_mut().zip(src) {
+                *a -= b;
+            }
+        });
+        Tensor { shape: self.shape.clone(), data }
     }
 
     /// `self * s`, element-wise.
@@ -181,16 +198,18 @@ impl Tensor {
         self.map(|v| v * s)
     }
 
-    /// In-place accumulate `self += other * s`.
+    /// In-place accumulate `self += other * s` (parallel for large tensors).
     ///
     /// # Panics
     ///
     /// Panics on shape mismatch.
     pub fn add_scaled_assign(&mut self, other: &Tensor, s: f32) {
         assert_eq!(self.shape, other.shape, "tensor accumulate shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += b * s;
-        }
+        par_binary(&mut self.data, &other.data, |dst, src| {
+            for (a, &b) in dst.iter_mut().zip(src) {
+                *a += b * s;
+            }
+        });
     }
 
     /// Sum of elements.
@@ -273,75 +292,45 @@ fn check_shape(shape: &[usize]) -> usize {
     shape.iter().product()
 }
 
-/// Row-major matrix multiply `C[m×n] = A[m×k] · B[k×n]` into a fresh buffer.
-///
-/// The i-k-j loop order keeps `B` accesses sequential; adequate for the
-/// layer sizes this workspace trains.
-///
-/// # Panics
-///
-/// Panics when the buffer sizes disagree with the dimensions.
-pub(crate) fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
-    assert_eq!(a.len(), m * k, "lhs size mismatch");
-    assert_eq!(b.len(), k * n, "rhs size mismatch");
-    let mut c = vec![0.0f32; m * n];
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (kk, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                *cv += av * bv;
-            }
-        }
+/// Applies `f` to chunks of `dst`, splitting across the worker pool when the
+/// buffer is large. Chunk boundaries never affect results because `f` is
+/// element-wise.
+fn par_unary(dst: &mut [f32], f: impl Fn(&mut [f32]) + Sync) {
+    let threads = par_threads(dst.len());
+    if threads <= 1 {
+        f(dst);
+        return;
     }
-    c
+    let chunk = dst.len().div_ceil(threads);
+    pool::run(dst.chunks_mut(chunk).collect(), f);
 }
 
-/// `C[m×n] = Aᵀ[m×k]' · B ...` — multiply with `A` transposed:
-/// `C = Aᵀ B` where `A` is stored `[k × m]`.
-pub(crate) fn matmul_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
-    assert_eq!(a.len(), k * m, "lhs size mismatch");
-    assert_eq!(b.len(), k * n, "rhs size mismatch");
-    let mut c = vec![0.0f32; m * n];
-    for kk in 0..k {
-        let a_row = &a[kk * m..(kk + 1) * m];
-        let b_row = &b[kk * n..(kk + 1) * n];
-        for i in 0..m {
-            let av = a_row[i];
-            if av == 0.0 {
-                continue;
-            }
-            let c_row = &mut c[i * n..(i + 1) * n];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                *cv += av * bv;
-            }
-        }
+/// Applies `f` to corresponding chunks of `dst` and `src` (same length),
+/// splitting across the worker pool when the buffers are large.
+fn par_binary(dst: &mut [f32], src: &[f32], f: impl Fn(&mut [f32], &[f32]) + Sync) {
+    debug_assert_eq!(dst.len(), src.len());
+    let threads = par_threads(dst.len());
+    if threads <= 1 {
+        f(dst, src);
+        return;
     }
-    c
+    let chunk = dst.len().div_ceil(threads);
+    let jobs: Vec<(&mut [f32], &[f32])> = dst.chunks_mut(chunk).zip(src.chunks(chunk)).collect();
+    pool::run(jobs, |(d, s)| f(d, s));
 }
 
-/// `C[m×n] = A[m×k] · Bᵀ` where `B` is stored `[n × k]`.
-pub(crate) fn matmul_nt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
-    assert_eq!(a.len(), m * k, "lhs size mismatch");
-    assert_eq!(b.len(), n * k, "rhs size mismatch");
-    let mut c = vec![0.0f32; m * n];
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (av, bv) in a_row.iter().zip(b_row) {
-                acc += av * bv;
-            }
-            c[i * n + j] = acc;
-        }
+fn par_threads(len: usize) -> usize {
+    if len < PAR_ELEMWISE_MIN || pool::in_worker() {
+        1
+    } else {
+        pool::max_threads()
     }
-    c
 }
+
+// The matrix-multiply kernels behind the layers live in [`crate::gemm`]
+// (cache-blocked, register-tiled, pool-parallel); these aliases keep the
+// historical call sites readable.
+pub(crate) use crate::gemm::{matmul, matmul_nt, matmul_tn};
 
 #[cfg(test)]
 mod tests {

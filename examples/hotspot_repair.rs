@@ -53,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = LithoModel::iccad2013_like(size)?;
     let defect_cfg = DefectConfig::default();
 
-    println!("hotspot clip: {} shapes, {} nm² pattern area\n", clip.shapes().len(), clip.pattern_area());
+    println!(
+        "hotspot clip: {} shapes, {} nm² pattern area\n",
+        clip.shapes().len(),
+        clip.pattern_area()
+    );
 
     // No OPC: the target is the mask.
     let no_opc = MaskMetrics::evaluate(&model, &target, &target, &defect_cfg);

@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bars = insert_srafs(&clip, &rules);
     println!("inserted {} scattering bars:", bars.len());
     for bar in &bars {
-        println!("  {bar} ({} nm wide, {} nm off the wire)", bar.width().min(bar.height()), rules.gap_nm);
+        println!(
+            "  {bar} ({} nm wide, {} nm off the wire)",
+            bar.width().min(bar.height()),
+            rules.gap_nm
+        );
     }
 
     let bare = clip.rasterize_raster(size, size);

@@ -61,9 +61,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stats = trainer.train(&dataset);
     let first = &stats[..5.min(stats.len())];
     let last = &stats[stats.len().saturating_sub(5)..];
-    let avg = |s: &[gan_opc::core::StepStats]| {
-        s.iter().map(|x| x.l2_loss).sum::<f64>() / s.len() as f64
-    };
+    let avg =
+        |s: &[gan_opc::core::StepStats]| s.iter().map(|x| x.l2_loss).sum::<f64>() / s.len() as f64;
     println!("      L2 loss: {:.4} -> {:.4}", avg(first), avg(last));
     let (generator, _discriminator) = trainer.into_networks();
 
@@ -83,10 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut baseline_cfg = IltConfig::refinement();
     baseline_cfg.max_iterations = 120;
-    let mut baseline = IltEngine::new(
-        LithoModel::iccad2013_like(litho_size)?,
-        baseline_cfg,
-    );
+    let mut baseline = IltEngine::new(LithoModel::iccad2013_like(litho_size)?, baseline_cfg);
     let baseline_result = baseline.optimize(&target)?;
 
     println!("      metric            GAN-OPC flow      raw ILT");

@@ -113,8 +113,10 @@ fn cmd_opc(args: &HashMap<String, String>) -> Result<(), String> {
 
     let (label, mask, wafer, runtime_s) = match flow_kind {
         "ilt" => {
-            let mut engine =
-                IltEngine::new(LithoModel::iccad2013_like_cached(size).map_err(|e| e.to_string())?, IltConfig::mosaic());
+            let mut engine = IltEngine::new(
+                LithoModel::iccad2013_like_cached(size).map_err(|e| e.to_string())?,
+                IltConfig::mosaic(),
+            );
             let r = engine.optimize(&target).map_err(|e| e.to_string())?;
             ("ILT", r.mask, r.wafer, r.runtime_s)
         }
@@ -183,8 +185,8 @@ fn cmd_train(args: &HashMap<String, String>) -> Result<(), String> {
         let model = LithoModel::iccad2013_like_cached(net).map_err(|e| e.to_string())?;
         let mut pcfg = PretrainConfig::paper_scaled();
         pcfg.iterations = pretrain;
-        let stats =
-            pretrain_generator(&mut generator, &model, &dataset, &pcfg).map_err(|e| e.to_string())?;
+        let stats = pretrain_generator(&mut generator, &model, &dataset, &pcfg)
+            .map_err(|e| e.to_string())?;
         eprintln!(
             "      litho error {:.0} -> {:.0}",
             stats.first().map(|s| s.litho_error).unwrap_or(0.0),

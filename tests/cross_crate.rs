@@ -3,9 +3,7 @@
 use gan_opc::geometry::synthesis::benchmark_suite;
 use gan_opc::geometry::{drc, ClipSynthesizer, DesignRules};
 use gan_opc::ilt::{IltConfig, IltEngine};
-use gan_opc::litho::metrics::{
-    break_count, bridge_count, connected_components, squared_l2_nm2,
-};
+use gan_opc::litho::metrics::{break_count, bridge_count, connected_components, squared_l2_nm2};
 use gan_opc::litho::{LithoModel, OpticalConfig};
 
 fn small_litho(size: usize) -> LithoModel {
@@ -74,10 +72,7 @@ fn pattern_area_survives_raster_and_print_pipeline() {
     let px_nm2 = 16.0 * 16.0;
     let raster_area = raster.sum() as f64 * px_nm2;
     let exact = clip.layout.pattern_area() as f64;
-    assert!(
-        (raster_area - exact).abs() / exact < 0.02,
-        "raster {raster_area} vs exact {exact}"
-    );
+    assert!((raster_area - exact).abs() / exact < 0.02, "raster {raster_area} vs exact {exact}");
 }
 
 #[test]

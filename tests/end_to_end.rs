@@ -47,22 +47,16 @@ fn full_pipeline_runs_and_improves() {
     fcfg.refinement.patience = 40;
     let mut flow = GanOpcFlow::with_generator(fcfg, generator).unwrap();
 
-    let clip = gan_opc::geometry::ClipSynthesizer::new(
-        gan_opc::geometry::DesignRules::m1_32nm(),
-        2048,
-        6,
-    )
-    .synthesize(1234);
+    let clip =
+        gan_opc::geometry::ClipSynthesizer::new(gan_opc::geometry::DesignRules::m1_32nm(), 2048, 6)
+            .synthesize(1234);
     let target = clip.rasterize_raster(64, 64).binarize(0.5);
     let result = flow.optimize(&target).unwrap();
 
     let eval_model = flow.model();
     let no_opc_wafer = eval_model.print_nominal(&target);
-    let no_opc_l2 = gan_opc::litho::metrics::squared_l2_nm2(
-        &no_opc_wafer,
-        &target,
-        eval_model.pixel_nm(),
-    );
+    let no_opc_l2 =
+        gan_opc::litho::metrics::squared_l2_nm2(&no_opc_wafer, &target, eval_model.pixel_nm());
     assert!(
         result.l2_nm2 <= no_opc_l2,
         "flow ({}) should not lose to no-OPC ({})",

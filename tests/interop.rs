@@ -125,20 +125,14 @@ fn generator_checkpoint_file_roundtrip() {
 #[test]
 fn sraf_bars_respect_drc_spacing_to_main_features() {
     use gan_opc::mbopc::sraf::{insert_srafs, SrafRules};
-    let clip = gan_opc::geometry::ClipSynthesizer::new(
-        gan_opc::geometry::DesignRules::m1_32nm(),
-        2048,
-        6,
-    )
-    .synthesize(42);
+    let clip =
+        gan_opc::geometry::ClipSynthesizer::new(gan_opc::geometry::DesignRules::m1_32nm(), 2048, 6)
+            .synthesize(42);
     let rules = SrafRules::default();
     let bars = insert_srafs(&clip, &rules);
     for bar in &bars {
         for shape in clip.shapes() {
-            assert!(
-                bar.gap(shape) >= rules.gap_nm,
-                "bar {bar} too close to {shape}"
-            );
+            assert!(bar.gap(shape) >= rules.gap_nm, "bar {bar} too close to {shape}");
         }
     }
 }

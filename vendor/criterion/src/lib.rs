@@ -1,0 +1,293 @@
+//! Offline shim for `criterion`: a wall-clock benchmark harness with a
+//! criterion-compatible API surface. It genuinely measures — each
+//! benchmark is warmed up, run for a configurable number of samples, and
+//! reported as min/median/mean per-iteration time — but does no
+//! statistical analysis, plotting, or state persistence.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value laundering, as in criterion.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{parameter}", name.into()) }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Batch sizing hints for [`Bencher::iter_batched`] (shim: ignored; every
+/// iteration gets a fresh input).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Passed to benchmark closures to drive the measured routine.
+pub struct Bencher {
+    samples: usize,
+    /// Per-sample measured durations of the last `iter` call.
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine` once per sample after a short warm-up.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until ~100 ms or 3 iterations, whichever is later.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u32;
+        while warm_iters < 3 || warm_start.elapsed() < Duration::from_millis(100) {
+            hint::black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1000 {
+                break;
+            }
+        }
+        self.durations.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            hint::black_box(routine());
+            self.durations.push(t0.elapsed());
+        }
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..3 {
+            hint::black_box(routine(setup()));
+        }
+        self.durations.clear();
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            hint::black_box(routine(input));
+            self.durations.push(t0.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.durations.is_empty() {
+            println!("{label:<50} (no samples)");
+            return;
+        }
+        let mut sorted = self.durations.clone();
+        sorted.sort();
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        println!(
+            "{label:<50} min {:>12}   median {:>12}   mean {:>12}   ({} samples)",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            sorted.len()
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target measurement time (shim: ignored — sampling is
+    /// count-based).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().id);
+        if !self.criterion.matches(&label) {
+            return self;
+        }
+        let mut bencher = Bencher { samples: self.sample_size, durations: Vec::new() };
+        f(&mut bencher);
+        bencher.report(&label);
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark manager handed to `criterion_group!` targets.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench forwards CLI args: flags (e.g. --bench) are ignored,
+        // the first positional argument becomes a substring filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, label: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| label.contains(f))
+    }
+
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 100 }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().id;
+        if self.matches(&label) {
+            let mut bencher = Bencher { samples: 100, durations: Vec::new() };
+            f(&mut bencher);
+            bencher.report(&label);
+        }
+        self
+    }
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        let mut ran = 0u32;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        group.finish();
+        assert!(ran >= 5, "routine ran {ran} times");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion { filter: Some("nomatch".into()) };
+        let mut group = c.benchmark_group("shim");
+        let mut ran = false;
+        group.bench_function("skipped", |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        group.finish();
+        assert!(!ran);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and stats
+//! types but performs all actual persistence through hand-rolled binary
+//! formats (`ganopc_nn::checkpoint`, `ganopc_litho::cache`), so no format
+//! crate exists in the dependency graph and the traits are never invoked.
+//! This shim therefore provides marker traits plus no-op derive macros —
+//! enough for the derives and any `T: Serialize` bounds to compile.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! No-op derive macros for the offline `serde` shim.
+//!
+//! The real derives generate `Serialize`/`Deserialize` impls; since the
+//! shim's traits are unused markers, deriving nothing at all keeps every
+//! annotated type compiling without pulling in a parser.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(serde::Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(serde::Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
