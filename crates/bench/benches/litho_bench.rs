@@ -16,9 +16,11 @@ fn cross(size: usize) -> Field {
 fn bench_aerial(c: &mut Criterion) {
     let mut group = c.benchmark_group("litho_aerial_image");
     group.sample_size(10);
-    for size in [64usize, 128] {
+    for size in [64usize, 128, 512, 1024] {
         let model = LithoModel::iccad2013_like(size).unwrap();
         let mask = cross(size);
+        // Warm the scratch arena so the numbers reflect steady state.
+        model.aerial_image(&mask);
         group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
             b.iter(|| model.aerial_image(&mask))
         });
@@ -33,6 +35,10 @@ fn bench_gradient(c: &mut Criterion) {
     let mut group = c.benchmark_group("litho_gradient");
     group.sample_size(10);
     group.bench_function("eq14_128", |b| b.iter(|| model.gradient(&mask, &target).unwrap()));
+    let mut grad = vec![0.0f32; 128 * 128];
+    group.bench_function("eq14_into_128", |b| {
+        b.iter(|| model.gradient_into(&mask, &target, 1.0, &mut grad).unwrap())
+    });
     group.finish();
 }
 

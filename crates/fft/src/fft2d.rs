@@ -1,11 +1,46 @@
-//! Row–column 2-D FFT.
+//! Row–column 2-D FFT with cache-blocked transposes.
+
+use std::cell::RefCell;
 
 use crate::{Complex, Direction, Fft1d, FftError};
 
+/// Tile edge for the blocked transpose. 32 complex values per row of a tile
+/// is 256 bytes — four cache lines — so a 32×32 tile streams through L1
+/// while both the read and the write side stay within a handful of pages.
+const TRANSPOSE_BLOCK: usize = 32;
+
+/// Transposes a row-major `rows × cols` matrix into `dst` (`cols × rows`),
+/// walking tile-by-tile so both sides of the copy stay cache-resident.
+pub(crate) fn transpose_into(src: &[Complex], dst: &mut [Complex], rows: usize, cols: usize) {
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(dst.len(), rows * cols);
+    for y0 in (0..rows).step_by(TRANSPOSE_BLOCK) {
+        let y1 = (y0 + TRANSPOSE_BLOCK).min(rows);
+        for x0 in (0..cols).step_by(TRANSPOSE_BLOCK) {
+            let x1 = (x0 + TRANSPOSE_BLOCK).min(cols);
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    dst[x * rows + y] = src[y * cols + x];
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Growable per-thread scratch backing the allocation-free convenience
+    /// entry points ([`Fft2d::transform`], [`Fft2d::forward_real`]).
+    static SCRATCH: RefCell<Vec<Complex>> = const { RefCell::new(Vec::new()) };
+}
+
 /// A planned 2-D FFT over a `height × width` row-major buffer.
 ///
-/// The transform is separable: rows first, then columns (through a transpose
-/// into scratch storage so the column pass also runs on contiguous memory).
+/// The transform is separable: a contiguous row pass, then a cache-blocked
+/// transpose into scratch, a second contiguous row pass over the former
+/// columns, and a transpose back. The two transposes replace the strided
+/// per-column gather of the seed implementation, so the column pass also
+/// runs at unit stride and the plan performs no allocation when scratch is
+/// supplied via [`Fft2d::transform_with`].
 ///
 /// ```
 /// use ganopc_fft::{Complex, Direction, Fft2d};
@@ -58,42 +93,63 @@ impl Fft2d {
         self.height * self.width
     }
 
-    /// Returns `true` when the grid is degenerate (never for valid plans).
+    /// Always `false`: both dimensions are validated nonzero at construction.
+    /// Present for API completeness alongside [`Fft2d::len`].
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Transforms a row-major `height × width` buffer in place.
+    /// Transforms a row-major `height × width` buffer in place, borrowing a
+    /// per-thread scratch buffer for the transposes.
     ///
     /// # Errors
     ///
     /// Returns [`FftError::SizeMismatch`] when `data.len() != height * width`.
     pub fn transform(&self, data: &mut [Complex], dir: Direction) -> Result<(), FftError> {
+        SCRATCH.with(|s| {
+            let mut scratch = s.borrow_mut();
+            self.transform_with(data, dir, &mut scratch)
+        })
+    }
+
+    /// Transforms a row-major buffer in place using caller-owned scratch.
+    ///
+    /// `scratch` is grown to `height * width` once and then reused; steady
+    /// state performs zero heap allocation. Its contents on return are the
+    /// transposed intermediate and carry no meaning to callers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::SizeMismatch`] when `data.len() != height * width`.
+    pub fn transform_with(
+        &self,
+        data: &mut [Complex],
+        dir: Direction,
+        scratch: &mut Vec<Complex>,
+    ) -> Result<(), FftError> {
         if data.len() != self.len() {
             return Err(FftError::SizeMismatch { expected: self.len(), actual: data.len() });
         }
         let (h, w) = (self.height, self.width);
-        // Row pass.
+        scratch.resize(h * w, Complex::ZERO);
         for row in data.chunks_exact_mut(w) {
             self.row_plan.transform_unchecked(row, dir);
         }
-        // Column pass via transpose → contiguous 1-D transforms → transpose.
-        let mut col = vec![Complex::ZERO; h];
-        for x in 0..w {
-            for y in 0..h {
-                col[y] = data[y * w + x];
-            }
-            self.col_plan.transform_unchecked(&mut col, dir);
-            for y in 0..h {
-                data[y * w + x] = col[y];
-            }
+        transpose_into(data, scratch, h, w);
+        for col in scratch.chunks_exact_mut(h) {
+            self.col_plan.transform_unchecked(col, dir);
         }
+        transpose_into(scratch, data, w, h);
         Ok(())
     }
 
     /// Convenience: forward-transforms a real-valued image into a fresh
     /// complex spectrum buffer.
+    ///
+    /// The litho hot path uses [`crate::RealFft2d`] and its packed
+    /// half-spectrum instead; this full-spectrum variant remains for tests
+    /// and reference computations.
     ///
     /// # Errors
     ///
@@ -127,6 +183,24 @@ mod tests {
         assert!(Fft2d::new(3, 8).is_err());
         assert!(Fft2d::new(8, 0).is_err());
         assert!(Fft2d::new(8, 8).is_ok());
+    }
+
+    #[test]
+    fn transpose_roundtrip_rectangular() {
+        for (r, c) in [(1usize, 64usize), (64, 1), (8, 8), (33, 70), (128, 32)] {
+            let src: Vec<Complex> =
+                (0..r * c).map(|i| Complex::new(i as f32, -(i as f32) * 0.5)).collect();
+            let mut t = vec![Complex::ZERO; r * c];
+            let mut back = vec![Complex::ZERO; r * c];
+            transpose_into(&src, &mut t, r, c);
+            for y in 0..r {
+                for x in 0..c {
+                    assert_eq!(t[x * r + y], src[y * c + x]);
+                }
+            }
+            transpose_into(&t, &mut back, c, r);
+            assert_eq!(back, src);
+        }
     }
 
     #[test]
@@ -181,6 +255,23 @@ mod tests {
             assert!((g.re - m.re).abs() < 1e-4);
             assert!((g.im - m.im).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn transform_with_matches_transform() {
+        let (h, w) = (16usize, 8usize);
+        let plan = Fft2d::new(h, w).unwrap();
+        let input = pattern(h, w);
+        let mut a = input.clone();
+        let mut b = input;
+        let mut scratch = Vec::new();
+        plan.transform(&mut a, Direction::Forward).unwrap();
+        plan.transform_with(&mut b, Direction::Forward, &mut scratch).unwrap();
+        assert_eq!(a, b);
+        // Scratch is grown once and reused verbatim on the next call.
+        let cap = scratch.capacity();
+        plan.transform_with(&mut b, Direction::Inverse, &mut scratch).unwrap();
+        assert_eq!(scratch.capacity(), cap);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Radix-2 complex FFT substrate for the GAN-OPC lithography stack.
+//! Planned real-FFT spectral engine for the GAN-OPC lithography stack.
 //!
 //! Every optical computation in the workspace — Hopkins/SOCS aerial images
 //! ([`ganopc-litho`]), inverse-lithography gradients ([`ganopc-ilt`]) and the
@@ -8,12 +8,18 @@
 //!
 //! * [`Complex`] — a `#[repr(C)]` single-precision complex number with the
 //!   usual arithmetic;
-//! * [`Fft1d`] — a planned, iterative radix-2 Cooley–Tukey transform for
-//!   power-of-two lengths, with cached twiddle factors and bit-reversal
-//!   permutation;
-//! * [`Fft2d`] — a row–column 2-D transform built on [`Fft1d`];
-//! * [`spectrum`] helpers — frequency-domain products, conjugation and
-//!   centered kernel embedding used by the convolution pipelines upstream.
+//! * [`Fft1d`] — a planned, iterative mixed radix-4/radix-2 Cooley–Tukey
+//!   transform for power-of-two lengths, with direction-specific twiddle
+//!   tables and a precomputed digit-reversal swap program;
+//! * [`Fft2d`] — a row–column 2-D transform built on [`Fft1d`], running the
+//!   column pass through cache-blocked transposes;
+//! * [`RealFft2d`] — the real-input 2-D transform over the packed Hermitian
+//!   `h × (w/2+1)` half-spectrum that carries the litho hot path;
+//! * [`Arena`] — a shared freelist of frame-sized scratch buffers so
+//!   steady-state convolutions allocate nothing;
+//! * [`spectrum`] helpers — frequency-domain products, half-spectrum kernel
+//!   storage and centered kernel embedding used by the convolution pipelines
+//!   upstream.
 //!
 //! # Example
 //!
@@ -35,14 +41,18 @@
 //! reproduction (training clips, benchmark clips, kernel supports) is chosen
 //! as a power of two, matching the 2048×2048 ICCAD-2013 frames.
 
+mod arena;
 mod complex;
 mod fft1d;
 mod fft2d;
+mod rfft;
 pub mod spectrum;
 
+pub use arena::Arena;
 pub use complex::Complex;
 pub use fft1d::Fft1d;
 pub use fft2d::Fft2d;
+pub use rfft::RealFft2d;
 
 use std::error::Error;
 use std::fmt;

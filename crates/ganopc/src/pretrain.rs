@@ -143,9 +143,10 @@ pub fn pretrain_generator(
         let masks_ref = &masks;
         let errors = pool::run(jobs, |(bi, di, gslice)| -> Result<f64, GanOpcError> {
             let mask_field = tensor_to_field(masks_ref, bi);
-            let result = model.gradient(&mask_field, &dataset.targets()[di])?;
-            gslice.copy_from_slice(result.grad.as_slice());
-            Ok(result.error)
+            // The allocation-free entry point writes ∂E/∂M straight into
+            // this sample's slice of the batch gradient; the aerial and
+            // wafer images it would otherwise build are never needed here.
+            Ok(model.gradient_into(&mask_field, &dataset.targets()[di], 1.0, gslice)?)
         });
         let mut err_total = 0.0f64;
         for err in errors {

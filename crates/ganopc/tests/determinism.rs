@@ -49,4 +49,37 @@ fn training_stats_are_identical_for_any_thread_count() {
     let serial = with_threads("1", pretrain);
     let parallel = with_threads("4", pretrain);
     assert_eq!(serial, parallel, "pretrain_generator diverged across thread counts");
+
+    // The spectral-engine hot paths directly: aerial image and the Eq. (14)
+    // gradient on a 128-px frame must be bit-identical whether the Hopkins
+    // kernel loop runs on one worker or four — the per-kernel partial
+    // intensities and gradient terms are reduced serially in kernel order.
+    let litho128 = {
+        let mut cfg = OpticalConfig::default_32nm(2048.0 / 128.0);
+        cfg.pupil_grid = 11;
+        cfg.num_kernels = 8;
+        LithoModel::new(cfg, 128, 128).unwrap()
+    };
+    let mask = {
+        let mut m = vec![0.0f32; 128 * 128];
+        for y in 40..88 {
+            for x in 32..96 {
+                // A soft-edged bar: exercises both saturated and fractional
+                // mask values through the sigmoid chain.
+                m[y * 128 + x] = if (48..80).contains(&x) { 1.0 } else { 0.4 };
+            }
+        }
+        ganopc_litho::Field::from_vec(128, 128, m)
+    };
+    let target = mask.map(|v| if v > 0.5 { 1.0 } else { 0.0 });
+    let litho_eval = || {
+        let aerial = litho128.aerial_image(&mask);
+        let grad = litho128.gradient_at_dose(&mask, &target, 1.0).unwrap();
+        (aerial, grad.error, grad.grad)
+    };
+    let (a1, e1, g1) = with_threads("1", litho_eval);
+    let (a4, e4, g4) = with_threads("4", litho_eval);
+    assert_eq!(e1.to_bits(), e4.to_bits(), "litho error diverged across thread counts");
+    assert_eq!(a1.as_slice(), a4.as_slice(), "aerial image diverged across thread counts");
+    assert_eq!(g1.as_slice(), g4.as_slice(), "Eq. (14) gradient diverged across thread counts");
 }

@@ -292,19 +292,26 @@ impl IltEngine {
         let mut best_p = p.clone();
         let mut best_err = f64::INFINITY;
         let mut velocity = vec![0.0f32; h * w];
+        // Iteration-loop buffers, hoisted so the descent loop allocates
+        // nothing: the relaxed mask, the dose-accumulated gradient and the
+        // per-dose gradient written by the allocation-free litho entry point.
+        let mut m_b = Field::zeros(h, w);
+        let mut grad = vec![0.0f32; h * w];
+        let mut dose_grad = vec![0.0f32; h * w];
         let mu = self.config.momentum;
         let mut iterations = 0usize;
         for iter in 0..self.config.max_iterations {
             iterations = iter + 1;
             // Relaxed mask from the parametrization (Eq. (13)).
-            let m_b = p.map(|v| 1.0 / (1.0 + (-beta * v).exp()));
+            for (mb, &pv) in m_b.as_mut_slice().iter_mut().zip(p.as_slice()) {
+                *mb = 1.0 / (1.0 + (-beta * pv).exp());
+            }
             // Accumulate gradient and error over the dose corners.
-            let mut grad = vec![0.0f32; h * w];
+            grad.fill(0.0);
             let mut err = 0.0f64;
             for &dose in doses {
-                let res = self.model.gradient_at_dose(&m_b, target, dose)?;
-                err += res.error;
-                for (g, &r) in grad.iter_mut().zip(res.grad.as_slice()) {
+                err += self.model.gradient_into(&m_b, target, dose, &mut dose_grad)?;
+                for (g, &r) in grad.iter_mut().zip(&dose_grad) {
                     *g += r;
                 }
             }

@@ -4,7 +4,7 @@ use crate::optics::OpticalConfig;
 use crate::socs::SocsKernels;
 use crate::{Field, LithoError};
 use ganopc_fft::spectrum::{self, KernelSpectrum};
-use ganopc_fft::{Complex, Direction, Fft2d};
+use ganopc_fft::{Arena, Complex, RealFft2d};
 use ganopc_nn::pool;
 
 /// Result of one lithography-gradient evaluation (paper Eq. (11)–(14)).
@@ -24,11 +24,19 @@ pub struct GradientResult {
     pub error: f64,
 }
 
+/// Real and imaginary component fields `(p_k, q_k)` of one kernel
+/// convolution; `None` where the kernel component was dropped as
+/// numerically zero.
+type KernelFields = (Option<Vec<f32>>, Option<Vec<f32>>);
+
 /// A planned lithography simulator for one frame size.
 ///
-/// Holds the SOCS kernel stack embedded as frame-sized spectra, the FFT plan,
+/// Holds the SOCS kernel stack embedded as frame-sized packed half-spectra,
+/// the real-FFT plan, a scratch-buffer [`Arena`] shared by the worker pool,
 /// the calibrated resist threshold `I_th` and the sigmoid steepness `α` of
-/// Eq. (12).
+/// Eq. (12). After a warm-up call on each entry point, aerial-image and
+/// gradient evaluations perform zero heap allocation for scratch (see
+/// [`LithoModel::scratch_allocations`]).
 ///
 /// ```
 /// use ganopc_litho::{Field, LithoModel};
@@ -44,9 +52,11 @@ pub struct LithoModel {
     cfg: OpticalConfig,
     height: usize,
     width: usize,
-    plan: Fft2d,
-    /// `(w_k, FFT(h_k))` pairs.
+    rfft: RealFft2d,
+    /// `(w_k, half-spectra of h_k)` pairs.
     spectra: Vec<(f32, KernelSpectrum)>,
+    /// Freelist of frame-sized scratch buffers shared by all pool workers.
+    arena: Arena,
     threshold: f32,
     sigmoid_alpha: f32,
     dose_delta: f32,
@@ -137,7 +147,7 @@ impl LithoModel {
         } else {
             SocsKernels::from_config(&cfg)
         };
-        let plan = Fft2d::new(height, width)?;
+        let rfft = RealFft2d::new(height, width)?;
         let spectra = stack
             .kernels()
             .iter()
@@ -150,8 +160,9 @@ impl LithoModel {
             cfg,
             height,
             width,
-            plan,
+            rfft,
             spectra,
+            arena: Arena::new(),
             threshold: 0.3,
             sigmoid_alpha: Self::DEFAULT_SIGMOID_ALPHA,
             dose_delta: Self::DEFAULT_DOSE_DELTA,
@@ -259,21 +270,71 @@ impl LithoModel {
         Ok(())
     }
 
-    /// Spectrum of a real mask, reused across kernels.
-    fn mask_spectrum(&self, mask: &Field) -> Vec<Complex> {
-        self.plan.forward_real(mask.as_slice()).expect("planned size")
+    /// Packed half-spectrum of a real mask, reused across kernels. The
+    /// returned buffer belongs to the arena; callers put it back when done.
+    fn mask_half(&self, mask: &Field) -> Vec<Complex> {
+        let slen = self.rfft.spectrum_len();
+        let mut out = self.arena.take_complex(slen);
+        let mut scratch = self.arena.take_complex(slen);
+        self.rfft.forward(mask.as_slice(), &mut out, &mut scratch).expect("planned size");
+        self.arena.put_complex(scratch);
+        out
+    }
+
+    /// One real component of a kernel convolution: `c2r(mask_half ⊙ comp)`.
+    /// All working storage comes from (and returns to) the arena except the
+    /// returned field, which the caller releases.
+    fn component_field(&self, mask_half: &[Complex], comp: &[Complex]) -> Vec<f32> {
+        let slen = self.rfft.spectrum_len();
+        let mut prod = self.arena.take_complex(slen);
+        let mut scratch = self.arena.take_complex(slen);
+        spectrum::mul_into(&mut prod, mask_half, comp);
+        let mut out = self.arena.take_real(self.height * self.width);
+        self.rfft.inverse(&mut prod, &mut out, &mut scratch).expect("planned size");
+        self.arena.put_complex(prod);
+        self.arena.put_complex(scratch);
+        out
     }
 
     /// Per-kernel convolved fields `A_k = M ⊗ h_k` from a precomputed mask
-    /// spectrum. Kernels fan out over the shared worker pool (capped by
-    /// `GANOPC_THREADS`); results come back in kernel order.
-    fn convolved_fields(&self, mask_spec: &[Complex]) -> Vec<Vec<Complex>> {
+    /// half-spectrum, split into real and imaginary parts `(p_k, q_k)` —
+    /// `None` where the kernel component vanishes. Kernels fan out over the
+    /// shared worker pool (capped by `GANOPC_THREADS`); results come back in
+    /// kernel order.
+    fn convolved_fields(&self, mask_half: &[Complex]) -> Vec<KernelFields> {
         pool::run(self.spectra.iter().collect(), |(_, ks)| {
-            let mut buf = mask_spec.to_vec();
-            spectrum::mul_assign(&mut buf, ks.as_slice());
-            self.plan.transform(&mut buf, Direction::Inverse).expect("planned size");
-            buf
+            let p = ks.re_spectrum().map(|r| self.component_field(mask_half, r));
+            let q = ks.im_spectrum().map(|i| self.component_field(mask_half, i));
+            (p, q)
         })
+    }
+
+    /// Accumulates `Σ_k w_k (p_k² + q_k²)` into `intensity`, serially in
+    /// kernel order so the result does not depend on the worker count.
+    fn accumulate_intensity(&self, fields: &[KernelFields], intensity: &mut [f32]) {
+        for ((w, _), (p, q)) in self.spectra.iter().zip(fields) {
+            for comp in [p, q].into_iter().flatten() {
+                for (acc, &v) in intensity.iter_mut().zip(comp.iter()) {
+                    *acc += w * v * v;
+                }
+            }
+        }
+    }
+
+    /// Returns convolved-field buffers to the arena.
+    fn release_fields(&self, fields: Vec<KernelFields>) {
+        for (p, q) in fields {
+            for comp in [p, q].into_iter().flatten() {
+                self.arena.put_real(comp);
+            }
+        }
+    }
+
+    /// Number of scratch-arena freelist misses since the model was built.
+    /// Constant across repeated hot-path calls once the arena is warm — the
+    /// zero-allocation regression tests assert on this.
+    pub fn scratch_allocations(&self) -> usize {
+        self.arena.fresh_allocations()
     }
 
     /// Aerial image `I = Σ_k w_k |M ⊗ h_k|²` at nominal dose (Eq. (2)).
@@ -293,14 +354,14 @@ impl LithoModel {
     /// Returns [`LithoError::ShapeMismatch`] when `mask` has the wrong shape.
     pub fn try_aerial_image(&self, mask: &Field) -> Result<Field, LithoError> {
         self.check_shape(mask)?;
-        let spec = self.mask_spectrum(mask);
-        let fields = self.convolved_fields(&spec);
+        let mask_half = self.mask_half(mask);
+        let fields = self.convolved_fields(&mask_half);
+        self.arena.put_complex(mask_half);
+        // The intensity buffer is the returned Field's storage — the only
+        // allocation on this path.
         let mut intensity = vec![0.0f32; self.height * self.width];
-        for ((w, _), a) in self.spectra.iter().zip(&fields) {
-            for (i, c) in a.iter().enumerate() {
-                intensity[i] += w * c.norm_sqr();
-            }
-        }
+        self.accumulate_intensity(&fields, &mut intensity);
+        self.release_fields(fields);
         Ok(Field::from_vec(self.height, self.width, intensity))
     }
 
@@ -366,62 +427,157 @@ impl LithoModel {
         target: &Field,
         dose: f32,
     ) -> Result<GradientResult, LithoError> {
+        let n = self.height * self.width;
+        let mut grad = vec![0.0f32; n];
+        let (error, captured) = self.gradient_core(mask, target, dose, &mut grad, true)?;
+        let (intensity, z) = captured.expect("fields requested");
+        Ok(GradientResult {
+            grad: Field::from_vec(self.height, self.width, grad),
+            wafer_relaxed: Field::from_vec(self.height, self.width, z),
+            aerial: Field::from_vec(self.height, self.width, intensity),
+            error,
+        })
+    }
+
+    /// Allocation-free variant of [`LithoModel::gradient_at_dose`]: writes
+    /// `∂E/∂M_b` into `grad` (overwritten, not accumulated) and returns the
+    /// lithography error `E`. With a warm arena this performs zero heap
+    /// allocation — the entry point for the ILT iteration loop and the
+    /// per-sample pre-training gradients, which discard the aerial and
+    /// wafer images anyway.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::ShapeMismatch`] when `mask`/`target` disagree
+    /// with the frame and [`LithoError::Fft`] when `grad` has the wrong
+    /// length.
+    pub fn gradient_into(
+        &self,
+        mask: &Field,
+        target: &Field,
+        dose: f32,
+        grad: &mut [f32],
+    ) -> Result<f64, LithoError> {
+        let n = self.height * self.width;
+        if grad.len() != n {
+            return Err(LithoError::Fft(ganopc_fft::FftError::SizeMismatch {
+                expected: n,
+                actual: grad.len(),
+            }));
+        }
+        grad.fill(0.0);
+        let (error, _) = self.gradient_core(mask, target, dose, grad, false)?;
+        Ok(error)
+    }
+
+    /// Shared gradient pipeline. Accumulates `∂E/∂M_b` into `grad` (which
+    /// must arrive zeroed) and returns the error; when `want_fields` is set,
+    /// also returns `(intensity, z)` as fresh vectors for the caller to wrap
+    /// into [`Field`]s, otherwise those intermediates live and die in the
+    /// arena.
+    #[allow(clippy::type_complexity)]
+    fn gradient_core(
+        &self,
+        mask: &Field,
+        target: &Field,
+        dose: f32,
+        grad: &mut [f32],
+        want_fields: bool,
+    ) -> Result<(f64, Option<(Vec<f32>, Vec<f32>)>), LithoError> {
         self.check_shape(mask)?;
         self.check_shape(target)?;
         assert!(dose > 0.0, "dose must be positive");
         let n = self.height * self.width;
+        let slen = self.rfft.spectrum_len();
 
-        let mask_spec = self.mask_spectrum(mask);
-        let fields = self.convolved_fields(&mask_spec);
+        let mask_half = self.mask_half(mask);
+        let fields = self.convolved_fields(&mask_half);
+        self.arena.put_complex(mask_half);
 
-        // Aerial image and relaxed wafer.
-        let mut intensity = vec![0.0f32; n];
-        for ((w, _), a) in self.spectra.iter().zip(&fields) {
-            for (i, c) in a.iter().enumerate() {
-                intensity[i] += w * c.norm_sqr();
-            }
-        }
-        let aerial = Field::from_vec(self.height, self.width, intensity);
-        let z =
-            if dose == 1.0 { self.relax(&aerial) } else { self.relax(&aerial.map(|i| dose * i)) };
-
-        // E and the common factor g = 2α·dose (Z − Z_t) ⊙ Z ⊙ (1 − Z).
+        // Aerial image and relaxed wafer `Z = σ(α(dose·I − I_th))`, plus the
+        // error and the chain factor g = 2α·dose (Z − Z_t) ⊙ Z ⊙ (1 − Z).
+        let mut intensity = if want_fields { vec![0.0f32; n] } else { self.arena.take_real(n) };
+        self.accumulate_intensity(&fields, &mut intensity);
+        let mut z = if want_fields { vec![0.0f32; n] } else { self.arena.take_real(n) };
+        let mut g = self.arena.take_real(n);
+        let alpha = self.sigmoid_alpha;
+        let th = self.threshold;
+        let chain = 2.0 * alpha * dose;
         let mut error = 0.0f64;
-        let mut g = vec![0.0f32; n];
-        let alpha = self.sigmoid_alpha * dose;
-        for ((gi, &zi), &ti) in g.iter_mut().zip(z.as_slice()).zip(target.as_slice()) {
-            let d = zi - ti;
+        for (((zi, gi), &ii), &ti) in
+            z.iter_mut().zip(g.iter_mut()).zip(intensity.iter()).zip(target.as_slice())
+        {
+            let zv = 1.0 / (1.0 + (-alpha * (dose * ii - th)).exp());
+            *zi = zv;
+            let d = zv - ti;
             error += (d as f64) * (d as f64);
-            *gi = 2.0 * alpha * d * zi * (1.0 - zi);
+            *gi = chain * d * zv * (1.0 - zv);
         }
 
-        // grad = Σ_k w_k · 2 Re[ IFFT( FFT(g ⊙ A_k) ⊙ conj(H_k) ) ].
-        // Per-kernel contributions are computed on the pool and reduced
-        // below in kernel order, so the gradient bits do not depend on how
-        // many workers ran.
-        let jobs: Vec<(f32, &KernelSpectrum, &Vec<Complex>)> =
-            self.spectra.iter().zip(&fields).map(|((w, ks), a)| (*w, ks, a)).collect();
+        // grad = Σ_k w_k · 2 Re[ IFFT( FFT(g ⊙ A_k) ⊙ conj(H_k) ) ]. With
+        // A_k = p + i·q and H_k = R + i·I (half-spectra of the kernel's real
+        // components), the real part collapses to a single Hermitian inverse:
+        // grad_k = 2 w_k · c2r( P ⊙ conj(R) + Q ⊙ conj(I) ), P = r2c(g⊙p),
+        // Q = r2c(g⊙q) — one c2r per kernel instead of a full complex
+        // round-trip. Per-kernel contributions are computed on the pool and
+        // reduced below in kernel order, so the gradient bits do not depend
+        // on how many workers ran.
         let g_ref = &g;
-        let per_kernel = pool::run(jobs, |(w, ks, a)| {
-            let mut u: Vec<Complex> = a.iter().zip(g_ref).map(|(c, &gi)| c.scale(gi)).collect();
-            self.plan.transform(&mut u, Direction::Forward).expect("planned size");
-            spectrum::mul_conj_assign(&mut u, ks.as_slice());
-            self.plan.transform(&mut u, Direction::Inverse).expect("planned size");
-            u.iter().map(|c| w * 2.0 * c.re).collect::<Vec<f32>>()
-        });
-        let mut grad = vec![0.0f32; n];
-        for contribution in &per_kernel {
-            for (gi, &c) in grad.iter_mut().zip(contribution) {
-                *gi += c;
+        let jobs: Vec<(&KernelSpectrum, (Option<Vec<f32>>, Option<Vec<f32>>))> =
+            self.spectra.iter().map(|(_, ks)| ks).zip(fields).collect();
+        let per_kernel = pool::run(jobs, |(ks, (p, q))| {
+            let mut w_spec = self.arena.take_complex(slen);
+            let mut tmp = self.arena.take_complex(slen);
+            let mut scratch = self.arena.take_complex(slen);
+            let mut u = self.arena.take_real(n);
+            let mut wrote = false;
+            for (comp, half) in [(&p, ks.re_spectrum()), (&q, ks.im_spectrum())] {
+                let (Some(field), Some(half)) = (comp, half) else { continue };
+                for ((ui, &fi), &gi) in u.iter_mut().zip(field.iter()).zip(g_ref.iter()) {
+                    *ui = gi * fi;
+                }
+                self.rfft.forward(&u, &mut tmp, &mut scratch).expect("planned size");
+                if wrote {
+                    spectrum::mul_conj_add_into(&mut w_spec, &tmp, half);
+                } else {
+                    spectrum::mul_conj_into(&mut w_spec, &tmp, half);
+                    wrote = true;
+                }
             }
+            for comp in [p, q].into_iter().flatten() {
+                self.arena.put_real(comp);
+            }
+            self.arena.put_complex(tmp);
+            let out = if wrote {
+                let mut gk = u; // reuse as the real output buffer
+                self.rfft.inverse(&mut w_spec, &mut gk, &mut scratch).expect("planned size");
+                Some(gk)
+            } else {
+                self.arena.put_real(u);
+                None
+            };
+            self.arena.put_complex(w_spec);
+            self.arena.put_complex(scratch);
+            out
+        });
+        for ((w, _), gk) in self.spectra.iter().zip(per_kernel) {
+            let Some(gk) = gk else { continue };
+            let s = 2.0 * w;
+            for (go, &c) in grad.iter_mut().zip(gk.iter()) {
+                *go += s * c;
+            }
+            self.arena.put_real(gk);
         }
+        self.arena.put_real(g);
 
-        Ok(GradientResult {
-            grad: Field::from_vec(self.height, self.width, grad),
-            wafer_relaxed: z,
-            aerial,
-            error,
-        })
+        let captured = if want_fields {
+            Some((intensity, z))
+        } else {
+            self.arena.put_real(intensity);
+            self.arena.put_real(z);
+            None
+        };
+        Ok((error, captured))
     }
 }
 
@@ -638,5 +794,58 @@ mod tests {
         let model = small_model();
         assert!(model.num_kernels() <= 8);
         assert!(model.num_kernels() >= 4);
+    }
+
+    #[test]
+    fn gradient_into_matches_gradient() {
+        let model = small_model();
+        let mut mask = Field::zeros(64, 64);
+        for y in 24..40 {
+            for x in 24..40 {
+                mask.set(y, x, 0.6);
+            }
+        }
+        let target = line_mask(64, 64, 28, 36, 24, 40);
+        let reference = model.gradient(&mask, &target).unwrap();
+        // Pre-filled garbage must be fully overwritten, not accumulated.
+        let mut grad = vec![7.0f32; 64 * 64];
+        let error = model.gradient_into(&mask, &target, 1.0, &mut grad).unwrap();
+        assert_eq!(error, reference.error);
+        assert_eq!(grad.as_slice(), reference.grad.as_slice());
+    }
+
+    #[test]
+    fn gradient_into_rejects_bad_buffer() {
+        let model = small_model();
+        let mask = Field::zeros(64, 64);
+        let mut short = vec![0.0f32; 16];
+        assert!(matches!(
+            model.gradient_into(&mask, &mask, 1.0, &mut short),
+            Err(LithoError::Fft(_))
+        ));
+    }
+
+    #[test]
+    fn hot_paths_do_not_allocate_when_warm() {
+        let model = small_model();
+        let mask = line_mask(64, 64, 28, 36, 16, 48);
+        let target = line_mask(64, 64, 30, 34, 18, 46);
+        let mut grad = vec![0.0f32; 64 * 64];
+        // Warm-up (small_model's threshold calibration already primed the
+        // aerial path; the gradient paths fill in the rest).
+        let _ = model.aerial_image(&mask);
+        let _ = model.gradient(&mask, &target).unwrap();
+        model.gradient_into(&mask, &target, 1.0, &mut grad).unwrap();
+        let warm = model.scratch_allocations();
+        for _ in 0..5 {
+            let _ = model.aerial_image(&mask);
+            let _ = model.gradient_at_dose(&mask, &target, 1.02).unwrap();
+            model.gradient_into(&mask, &target, 0.98, &mut grad).unwrap();
+        }
+        assert_eq!(
+            model.scratch_allocations(),
+            warm,
+            "steady-state hot paths must not miss the scratch arena"
+        );
     }
 }

@@ -1,6 +1,6 @@
 //! Property-based cross-crate invariants (proptest).
 
-use gan_opc::fft::{spectrum, Complex, Direction, Fft2d};
+use gan_opc::fft::{spectrum, Complex, Direction, Fft2d, RealFft2d};
 use gan_opc::geometry::layout::union_area;
 use gan_opc::geometry::raster::Raster;
 use gan_opc::geometry::{Layout, Rect};
@@ -43,7 +43,7 @@ proptest! {
         let mut kernel = vec![Complex::ZERO; 9];
         kernel[4] = Complex::ONE;
         let ks = spectrum::KernelSpectrum::new(&kernel, 3, 8, 8).unwrap();
-        let plan = Fft2d::new(8, 8).unwrap();
+        let plan = RealFft2d::new(8, 8).unwrap();
         let out = spectrum::convolve_real(&plan, &values, &ks).unwrap();
         for (o, &v) in out.iter().zip(&values) {
             prop_assert!((o.re - v).abs() < 1e-3);

@@ -72,6 +72,30 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Chains a dependent strategy: `f` builds the second-stage strategy
+    /// from each first-stage draw (e.g. a length, then data of that length).
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        let first = self.inner.generate(rng);
+        (self.f)(first).generate(rng)
+    }
 }
 
 /// The strategy returned by [`Strategy::prop_map`].
