@@ -46,12 +46,17 @@ impl OpcDataset {
         if count == 0 {
             return Err(GanOpcError::Config("dataset count must be positive".into()));
         }
-        let mut opt = OpticalConfig::default_32nm(2048.0 / size as f64);
+        let mut opt = OpticalConfig::default_32nm(crate::flow::FRAME_NM / size as f64);
         // Keep dataset construction affordable: the reference quality is set
         // by the ILT iteration budget, not the kernel count.
         opt.num_kernels = opt.num_kernels.min(12);
         let model = LithoModel::new_cached(opt, size, size)?;
-        let library = TrainingLibrary::generate(DesignRules::m1_32nm(), 2048, count, seed);
+        let library = TrainingLibrary::generate(
+            DesignRules::m1_32nm(),
+            crate::flow::FRAME_NM as i64,
+            count,
+            seed,
+        );
         let mut engine = IltEngine::new(model, ilt_config);
         let mut targets = Vec::with_capacity(count);
         let mut masks = Vec::with_capacity(count);
@@ -149,6 +154,75 @@ impl OpcDataset {
         order.shuffle(&mut StdRng::seed_from_u64(seed));
         order
     }
+
+    /// Starts the deterministic mini-batch stream used by training: epoch
+    /// `e` is drawn in [`OpcDataset::epoch_order`]`(seed + e)` order.
+    pub fn epoch_stream(&self, seed: u64) -> EpochStream {
+        EpochStream::at_position(self, seed, 0, 0)
+    }
+}
+
+/// The deterministic shuffle stream every trainer draws mini-batches from.
+///
+/// The stream is fully described by `(seed, epoch, cursor)`: epoch `e`
+/// visits the dataset in `epoch_order(seed.wrapping_add(e))` order and
+/// `cursor` counts the indices already consumed within it. That triple is
+/// what training checkpoints persist; [`EpochStream::at_position`] rebuilds
+/// the stream bit-identically, so a resumed trainer draws exactly the
+/// batches an uninterrupted run would have drawn.
+#[derive(Debug, Clone)]
+pub struct EpochStream {
+    seed: u64,
+    epoch: u64,
+    cursor: usize,
+    order: Vec<usize>,
+}
+
+impl EpochStream {
+    /// Reconstructs a stream at a saved `(seed, epoch, cursor)` position.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cursor` exceeds the dataset length.
+    pub fn at_position(dataset: &OpcDataset, seed: u64, epoch: u64, cursor: usize) -> Self {
+        assert!(cursor <= dataset.len(), "cursor {cursor} beyond dataset of {}", dataset.len());
+        let order = dataset.epoch_order(seed.wrapping_add(epoch));
+        EpochStream { seed, epoch, cursor, order }
+    }
+
+    /// The current `(epoch, cursor)` position (persist together with the
+    /// seed to resume).
+    pub fn position(&self) -> (u64, usize) {
+        (self.epoch, self.cursor)
+    }
+
+    /// The stream's shuffle seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Draws the next `batch_size` instance indices, reshuffling at epoch
+    /// boundaries (Algorithm 1 line 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch_size` is zero or `dataset` does not match the
+    /// stream (fewer instances than the saved cursor).
+    pub fn next_batch(&mut self, dataset: &OpcDataset, batch_size: usize) -> Vec<usize> {
+        assert!(batch_size > 0, "empty mini-batch");
+        assert_eq!(self.order.len(), dataset.len(), "stream bound to another dataset");
+        let mut indices = Vec::with_capacity(batch_size);
+        while indices.len() < batch_size {
+            if self.cursor == self.order.len() {
+                self.epoch += 1;
+                self.order = dataset.epoch_order(self.seed.wrapping_add(self.epoch));
+                self.cursor = 0;
+            }
+            indices.push(self.order[self.cursor]);
+            self.cursor += 1;
+        }
+        indices
+    }
 }
 
 #[cfg(test)]
@@ -199,6 +273,50 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, vec![0, 1, 2]);
         assert_eq!(order, ds.epoch_order(1));
+    }
+
+    #[test]
+    fn epoch_stream_matches_manual_loop() {
+        let ds = tiny();
+        let mut stream = ds.epoch_stream(7);
+        // The reference semantics the original training loops implemented.
+        let mut order = ds.epoch_order(7);
+        let (mut cursor, mut epoch) = (0usize, 0u64);
+        for _ in 0..5 {
+            let batch = stream.next_batch(&ds, 2);
+            let mut expect = Vec::new();
+            while expect.len() < 2 {
+                if cursor == order.len() {
+                    epoch += 1;
+                    order = ds.epoch_order(7u64.wrapping_add(epoch));
+                    cursor = 0;
+                }
+                expect.push(order[cursor]);
+                cursor += 1;
+            }
+            assert_eq!(batch, expect);
+        }
+        assert_eq!(stream.position(), (epoch, cursor));
+    }
+
+    #[test]
+    fn epoch_stream_resumes_bit_identically() {
+        let ds = tiny();
+        let mut straight = ds.epoch_stream(3);
+        let mut first = ds.epoch_stream(3);
+        let mut drawn: Vec<Vec<usize>> = (0..4).map(|_| first.next_batch(&ds, 2)).collect();
+        let (epoch, cursor) = first.position();
+        let mut resumed = EpochStream::at_position(&ds, 3, epoch, cursor);
+        drawn.extend((0..4).map(|_| resumed.next_batch(&ds, 2)));
+        let reference: Vec<Vec<usize>> = (0..8).map(|_| straight.next_batch(&ds, 2)).collect();
+        assert_eq!(drawn, reference);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond dataset")]
+    fn epoch_stream_rejects_bad_cursor() {
+        let ds = tiny();
+        let _ = EpochStream::at_position(&ds, 0, 0, ds.len() + 1);
     }
 
     #[test]

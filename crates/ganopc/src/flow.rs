@@ -7,6 +7,10 @@ use ganopc_litho::metrics::{DefectConfig, MaskMetrics};
 use ganopc_litho::{Field, LithoModel, OpticalConfig};
 use std::time::Instant;
 
+/// Physical span of one clip frame, nm (the paper's 2048 nm × 2048 nm
+/// layout frames) — the single place the flow's nm↔pixel scale is set.
+pub const FRAME_NM: f64 = 2048.0;
+
 /// Configuration of the end-to-end flow.
 #[derive(Debug, Clone)]
 pub struct FlowConfig {
@@ -143,7 +147,7 @@ impl GanOpcFlow {
     /// lithography model construction failures.
     pub fn new(config: FlowConfig) -> Result<Self, GanOpcError> {
         config.validate().map_err(GanOpcError::Config)?;
-        let mut opt = OpticalConfig::default_32nm(2048.0 / config.litho_size as f64);
+        let mut opt = OpticalConfig::default_32nm(FRAME_NM / config.litho_size as f64);
         opt.num_kernels = config.num_kernels;
         let model = LithoModel::new_cached(opt, config.litho_size, config.litho_size)?;
         let generator = Generator::new(config.net_size, config.base_channels, config.seed);
@@ -217,7 +221,9 @@ impl GanOpcFlow {
             if factor == 1 { mask_small_field } else { mask_small_field.upsample_bilinear(factor) };
         if let Some(halo_nm) = self.config.mask_halo_nm {
             // Clear generator output outside the legal correction region.
-            let px_nm = 2048.0 / s as f64;
+            // The scale comes from the litho model itself, so the halo stays
+            // correct if the model is ever built on a different frame.
+            let px_nm = self.engine.model().pixel_nm();
             let radius = (halo_nm / px_nm).ceil() as usize;
             let legal = target.dilate_box(radius, 0.5);
             for (m, &l) in generator_mask.as_mut_slice().iter_mut().zip(legal.as_slice()) {

@@ -42,11 +42,11 @@ pub mod pretrain;
 pub mod train;
 pub mod validate;
 
-pub use dataset::OpcDataset;
+pub use dataset::{EpochStream, OpcDataset};
 pub use discriminator::Discriminator;
-pub use flow::{FlowConfig, FlowResult, GanOpcFlow};
+pub use flow::{FlowConfig, FlowResult, GanOpcFlow, FRAME_NM};
 pub use generator::Generator;
-pub use pretrain::PretrainConfig;
+pub use pretrain::{PretrainConfig, Pretrainer};
 pub use train::{GanTrainer, StepStats, TrainConfig};
 pub use validate::{evaluate_generator, split_dataset, ValidationReport};
 

@@ -10,11 +10,14 @@
 //! adversarial training starts, which the paper shows stabilizes GAN
 //! convergence (Fig. 7).
 
+use crate::dataset::EpochStream;
 use crate::{tensor_to_field, GanOpcError, Generator, OpcDataset};
 use ganopc_litho::LithoModel;
+use ganopc_nn::checkpoint::Checkpoint;
 use ganopc_nn::optim::Sgd;
 use ganopc_nn::{pool, Tensor};
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// Hyper-parameters of Algorithm 2.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -57,7 +60,30 @@ impl PretrainConfig {
         if self.lr <= 0.0 {
             return Err("learning rate must be positive".into());
         }
+        if !(0.0..1.0).contains(&self.momentum) {
+            return Err("momentum must lie in [0, 1)".into());
+        }
         Ok(())
+    }
+
+    fn put_into(&self, ck: &mut Checkpoint) {
+        ck.put_u64("config/iterations", self.iterations as u64);
+        ck.put_u64("config/batch_size", self.batch_size as u64);
+        ck.put_f64("config/lr", self.lr as f64);
+        ck.put_f64("config/momentum", self.momentum as f64);
+        ck.put_u64("config/seed", self.seed);
+    }
+
+    fn read_from(ck: &Checkpoint) -> Result<Self, GanOpcError> {
+        let config = PretrainConfig {
+            iterations: ck.get_u64("config/iterations")? as usize,
+            batch_size: ck.get_u64("config/batch_size")? as usize,
+            lr: ck.get_f64("config/lr")? as f32,
+            momentum: ck.get_f64("config/momentum")? as f32,
+            seed: ck.get_u64("config/seed")?,
+        };
+        config.validate().map_err(GanOpcError::Config)?;
+        Ok(config)
     }
 }
 
@@ -93,6 +119,27 @@ pub fn pretrain_generator(
     config: &PretrainConfig,
 ) -> Result<Vec<PretrainStats>, GanOpcError> {
     config.validate().map_err(GanOpcError::Config)?;
+    check_shapes(generator, model, dataset)?;
+    let mut opt = Sgd::new(config.lr, config.momentum);
+    let mut stream = dataset.epoch_stream(config.seed);
+    let mut step = 0usize;
+    run_steps(
+        generator,
+        &mut opt,
+        model,
+        dataset,
+        config,
+        &mut stream,
+        &mut step,
+        config.iterations,
+    )
+}
+
+fn check_shapes(
+    generator: &Generator,
+    model: &LithoModel,
+    dataset: &OpcDataset,
+) -> Result<(), GanOpcError> {
     if model.shape() != (dataset.size(), dataset.size()) {
         return Err(GanOpcError::Config(format!(
             "litho frame {:?} does not match dataset size {}",
@@ -107,22 +154,26 @@ pub fn pretrain_generator(
             dataset.size()
         )));
     }
-    let mut opt = Sgd::new(config.lr, config.momentum);
-    let mut stats = Vec::with_capacity(config.iterations);
-    let mut order = dataset.epoch_order(config.seed);
-    let mut cursor = 0usize;
-    let mut epoch = 0u64;
-    for step in 0..config.iterations {
-        let mut indices = Vec::with_capacity(config.batch_size);
-        while indices.len() < config.batch_size {
-            if cursor == order.len() {
-                epoch += 1;
-                order = dataset.epoch_order(config.seed.wrapping_add(epoch));
-                cursor = 0;
-            }
-            indices.push(order[cursor]);
-            cursor += 1;
-        }
+    Ok(())
+}
+
+/// The Algorithm 2 inner loop, shared by the one-shot entry point and the
+/// resumable [`Pretrainer`]: advances `step` and `stream` in place so the
+/// caller's position always reflects the batches actually consumed.
+#[allow(clippy::too_many_arguments)]
+fn run_steps(
+    generator: &mut Generator,
+    opt: &mut Sgd,
+    model: &LithoModel,
+    dataset: &OpcDataset,
+    config: &PretrainConfig,
+    stream: &mut EpochStream,
+    step: &mut usize,
+    steps: usize,
+) -> Result<Vec<PretrainStats>, GanOpcError> {
+    let mut stats = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let indices = stream.next_batch(dataset, config.batch_size);
         let (targets, _) = dataset.batch(&indices);
         // Line 5: M ← G(Z_t).
         let masks = generator.forward(&targets, true);
@@ -156,9 +207,189 @@ pub fn pretrain_generator(
         generator.zero_grads();
         generator.backward(&grad.scale(1.0 / batch as f32));
         opt.step(generator.net_mut());
-        stats.push(PretrainStats { step: step + 1, litho_error: err_total / batch as f64 });
+        *step += 1;
+        stats.push(PretrainStats { step: *step, litho_error: err_total / batch as f64 });
     }
     Ok(stats)
+}
+
+/// Format tag stored under `meta/kind` in pre-trainer checkpoints.
+const PRETRAINER_KIND: &[u8] = b"gan-opc/pretrainer";
+
+/// A crash-safe, resumable Algorithm 2 run.
+///
+/// Owns the generator and its optimizer so that
+/// [`Pretrainer::save_checkpoint`] can persist everything a pre-training
+/// run accumulates — weights, batch-norm statistics, SGD velocity, step
+/// counter, and shuffle-stream position — and [`Pretrainer::resume`]
+/// continues bit-identically to an uninterrupted run.
+pub struct Pretrainer {
+    generator: Generator,
+    opt: Sgd,
+    config: PretrainConfig,
+    step: usize,
+    epoch: u64,
+    cursor: usize,
+}
+
+impl Pretrainer {
+    /// Wraps a generator for resumable pre-training.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`PretrainConfig::validate`].
+    pub fn new(generator: Generator, config: PretrainConfig) -> Self {
+        config.validate().expect("invalid pre-training configuration");
+        let opt = Sgd::new(config.lr, config.momentum);
+        Pretrainer { generator, opt, config, step: 0, epoch: 0, cursor: 0 }
+    }
+
+    /// Steps completed so far (across save/resume cycles).
+    pub fn step(&self) -> usize {
+        self.step
+    }
+
+    /// The configuration being run.
+    pub fn config(&self) -> &PretrainConfig {
+        &self.config
+    }
+
+    /// The generator being pre-trained.
+    pub fn generator(&self) -> &Generator {
+        &self.generator
+    }
+
+    /// Mutable access to the generator (e.g. for evaluation between runs).
+    pub fn generator_mut(&mut self) -> &mut Generator {
+        &mut self.generator
+    }
+
+    /// Consumes the pre-trainer, returning the generator for the
+    /// adversarial phase.
+    pub fn into_generator(self) -> Generator {
+        self.generator
+    }
+
+    /// Trains until `config.iterations` total steps have run (a fresh
+    /// pre-trainer runs all of them; a resumed one only the remainder).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GanOpcError::Config`] on resolution mismatches and
+    /// propagates lithography failures.
+    pub fn train(
+        &mut self,
+        model: &LithoModel,
+        dataset: &OpcDataset,
+    ) -> Result<Vec<PretrainStats>, GanOpcError> {
+        let remaining = self.config.iterations.saturating_sub(self.step);
+        self.train_for(model, dataset, remaining)
+    }
+
+    /// Runs exactly `steps` further pre-training steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GanOpcError::Config`] on resolution mismatches and
+    /// propagates lithography failures.
+    pub fn train_for(
+        &mut self,
+        model: &LithoModel,
+        dataset: &OpcDataset,
+        steps: usize,
+    ) -> Result<Vec<PretrainStats>, GanOpcError> {
+        check_shapes(&self.generator, model, dataset)?;
+        let mut stream =
+            EpochStream::at_position(dataset, self.config.seed, self.epoch, self.cursor);
+        let result = run_steps(
+            &mut self.generator,
+            &mut self.opt,
+            model,
+            dataset,
+            &self.config,
+            &mut stream,
+            &mut self.step,
+            steps,
+        );
+        (self.epoch, self.cursor) = stream.position();
+        result
+    }
+
+    /// Serializes the complete pre-training state into a v2 [`Checkpoint`].
+    pub fn to_checkpoint(&mut self) -> Checkpoint {
+        let mut ck = Checkpoint::new();
+        ck.put_bytes("meta/kind", PRETRAINER_KIND.to_vec());
+        self.config.put_into(&mut ck);
+        ck.put_u64("arch/size", self.generator.size() as u64);
+        ck.put_u64("arch/g_base", self.generator.base_channels() as u64);
+        ck.put_tensors("g/params", self.generator.export_params());
+        ck.put_tensors("opt/velocity", self.opt.export_state());
+        ck.put_u64("progress/step", self.step as u64);
+        ck.put_u64("progress/epoch", self.epoch);
+        ck.put_u64("progress/cursor", self.cursor as u64);
+        ck
+    }
+
+    /// Reconstructs a pre-trainer from a checkpoint produced by
+    /// [`Pretrainer::to_checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GanOpcError::Checkpoint`] for missing/mistyped sections
+    /// and [`GanOpcError::Config`] for inconsistent architecture or
+    /// optimizer state.
+    pub fn from_checkpoint(mut ck: Checkpoint) -> Result<Self, GanOpcError> {
+        match ck.get_bytes("meta/kind") {
+            Ok(kind) if kind == PRETRAINER_KIND => {}
+            Ok(kind) => {
+                return Err(GanOpcError::Config(format!(
+                    "checkpoint holds '{}', not a pre-trainer state",
+                    String::from_utf8_lossy(kind)
+                )))
+            }
+            Err(e) => return Err(e.into()),
+        }
+        let config = PretrainConfig::read_from(&ck)?;
+        let size = ck.get_u64("arch/size")? as usize;
+        let g_base = ck.get_u64("arch/g_base")? as usize;
+        if !(8..=8192).contains(&size) || !size.is_power_of_two() || !(1..=1024).contains(&g_base) {
+            return Err(GanOpcError::Config(format!(
+                "implausible checkpoint architecture: size {size}, base {g_base}"
+            )));
+        }
+        let mut generator = Generator::new(size, g_base, 0);
+        generator.import_params(&ck.take_tensors("g/params")?)?;
+        let mut opt = Sgd::new(config.lr, config.momentum);
+        let velocity = ck.take_tensors("opt/velocity")?;
+        crate::train::check_velocity(generator.net_mut(), &velocity, "pre-training")?;
+        opt.import_state(velocity);
+        let step = ck.get_u64("progress/step")? as usize;
+        let epoch = ck.get_u64("progress/epoch")?;
+        let cursor = ck.get_u64("progress/cursor")? as usize;
+        Ok(Pretrainer { generator, opt, config, step, epoch, cursor })
+    }
+
+    /// Atomically writes the complete pre-training state to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save_checkpoint<P: AsRef<Path>>(&mut self, path: P) -> Result<(), GanOpcError> {
+        self.to_checkpoint().save(path)?;
+        Ok(())
+    }
+
+    /// Reconstructs a pre-trainer from a checkpoint file written by
+    /// [`Pretrainer::save_checkpoint`]; [`Pretrainer::train`] then
+    /// continues exactly where the saved run stopped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and format failures; corrupt or truncated files
+    /// surface as [`GanOpcError::Checkpoint`].
+    pub fn resume<P: AsRef<Path>>(path: P) -> Result<Self, GanOpcError> {
+        Pretrainer::from_checkpoint(Checkpoint::load(path)?)
+    }
 }
 
 #[cfg(test)]

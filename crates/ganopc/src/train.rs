@@ -15,11 +15,15 @@
 //! better-conditioned gradients); the generator term `−log D(Z_t, M)` is
 //! `BCE(D(Z_t, M), 1)` exactly as in Eq. (7).
 
-use crate::{Discriminator, Generator, OpcDataset};
+use crate::dataset::EpochStream;
+use crate::validate::ValidationReport;
+use crate::{Discriminator, GanOpcError, Generator, OpcDataset};
+use ganopc_nn::checkpoint::Checkpoint;
 use ganopc_nn::loss::{bce_scalar_label, sum_squared_error};
 use ganopc_nn::optim::Sgd;
 use ganopc_nn::Tensor;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// Hyper-parameters of Algorithm 1.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -89,7 +93,10 @@ impl TrainConfig {
         if self.lr_generator <= 0.0 || self.lr_discriminator <= 0.0 {
             return Err("learning rates must be positive".into());
         }
-        if self.alpha < 0.0 {
+        if !(0.0..1.0).contains(&self.momentum) {
+            return Err("momentum must lie in [0, 1)".into());
+        }
+        if !self.alpha.is_finite() || self.alpha < 0.0 {
             return Err("alpha must be nonnegative".into());
         }
         if let Some(c) = self.clip_grad_norm {
@@ -98,6 +105,40 @@ impl TrainConfig {
             }
         }
         Ok(())
+    }
+}
+
+impl TrainConfig {
+    fn put_into(&self, ck: &mut Checkpoint) {
+        ck.put_u64("config/iterations", self.iterations as u64);
+        ck.put_u64("config/batch_size", self.batch_size as u64);
+        ck.put_f64("config/lr_generator", self.lr_generator as f64);
+        ck.put_f64("config/lr_discriminator", self.lr_discriminator as f64);
+        ck.put_f64("config/momentum", self.momentum as f64);
+        ck.put_f64("config/alpha", self.alpha as f64);
+        ck.put_u64("config/seed", self.seed);
+        if let Some(clip) = self.clip_grad_norm {
+            ck.put_f64("config/clip_grad_norm", clip as f64);
+        }
+    }
+
+    fn read_from(ck: &Checkpoint) -> Result<Self, GanOpcError> {
+        let config = TrainConfig {
+            iterations: ck.get_u64("config/iterations")? as usize,
+            batch_size: ck.get_u64("config/batch_size")? as usize,
+            lr_generator: ck.get_f64("config/lr_generator")? as f32,
+            lr_discriminator: ck.get_f64("config/lr_discriminator")? as f32,
+            momentum: ck.get_f64("config/momentum")? as f32,
+            alpha: ck.get_f64("config/alpha")? as f32,
+            seed: ck.get_u64("config/seed")?,
+            clip_grad_norm: if ck.contains("config/clip_grad_norm") {
+                Some(ck.get_f64("config/clip_grad_norm")? as f32)
+            } else {
+                None
+            },
+        };
+        config.validate().map_err(GanOpcError::Config)?;
+        Ok(config)
     }
 }
 
@@ -126,7 +167,27 @@ pub struct StepStats {
     pub d_fake: f64,
 }
 
+/// The full state captured at the best validation checkpoint: restoring
+/// only the generator weights (the historical behaviour) leaves both
+/// optimizers' momentum — and the discriminator — aimed at the *discarded*
+/// final-step weights, so any continued training immediately takes steps
+/// with stale velocity. Weights and optimizer state travel together.
+struct BestSnapshot {
+    report: ValidationReport,
+    generator: Vec<Tensor>,
+    discriminator: Vec<Tensor>,
+    opt_g: Vec<Tensor>,
+    opt_d: Vec<Tensor>,
+}
+
 /// The Algorithm 1 trainer: owns both networks and their optimizers.
+///
+/// The trainer is fully resumable: [`GanTrainer::save_checkpoint`] persists
+/// every piece of state a training run accumulates — both networks
+/// (weights *and* batch-norm statistics), both optimizers' velocity, the
+/// step counter, the shuffle-stream position, and the best-validation
+/// snapshot — and [`GanTrainer::resume`] reconstructs a trainer that
+/// continues bit-identically to an uninterrupted run.
 pub struct GanTrainer {
     generator: Generator,
     discriminator: Discriminator,
@@ -134,7 +195,14 @@ pub struct GanTrainer {
     opt_d: Sgd,
     config: TrainConfig,
     step: usize,
+    /// Shuffle-stream position: epoch index and intra-epoch cursor.
+    epoch: u64,
+    cursor: usize,
+    best: Option<BestSnapshot>,
 }
+
+/// Format tag stored under `meta/kind` in trainer checkpoints.
+const TRAINER_KIND: &[u8] = b"gan-opc/trainer";
 
 impl GanTrainer {
     /// Creates a trainer from freshly initialized networks.
@@ -152,12 +220,32 @@ impl GanTrainer {
         );
         let opt_g = Sgd::new(config.lr_generator, config.momentum);
         let opt_d = Sgd::new(config.lr_discriminator, config.momentum);
-        GanTrainer { generator, discriminator, opt_g, opt_d, config, step: 0 }
+        GanTrainer {
+            generator,
+            discriminator,
+            opt_g,
+            opt_d,
+            config,
+            step: 0,
+            epoch: 0,
+            cursor: 0,
+            best: None,
+        }
     }
 
     /// The training configuration.
     pub fn config(&self) -> &TrainConfig {
         &self.config
+    }
+
+    /// Steps completed so far (across saves/resumes).
+    pub fn step(&self) -> usize {
+        self.step
+    }
+
+    /// The best validation report seen so far, if validation ran.
+    pub fn best_report(&self) -> Option<&ValidationReport> {
+        self.best.as_ref().map(|b| &b.report)
     }
 
     /// Borrow of the generator (e.g. to export weights mid-training).
@@ -244,65 +332,241 @@ impl GanTrainer {
         validation: &OpcDataset,
         model: &ganopc_litho::LithoModel,
         check_every: usize,
-    ) -> Result<(Vec<StepStats>, crate::validate::ValidationReport), crate::GanOpcError> {
+    ) -> Result<(Vec<StepStats>, ValidationReport), GanOpcError> {
         let check_every = check_every.max(1);
-        let mut stats = Vec::with_capacity(self.config.iterations);
-        let mut best: Option<(crate::validate::ValidationReport, Vec<Tensor>)> = None;
-        let mut order = dataset.epoch_order(self.config.seed);
-        let mut cursor = 0usize;
-        let mut epoch = 0u64;
-        for step in 0..self.config.iterations {
-            let mut indices = Vec::with_capacity(self.config.batch_size);
-            while indices.len() < self.config.batch_size {
-                if cursor == order.len() {
-                    epoch += 1;
-                    order = dataset.epoch_order(self.config.seed.wrapping_add(epoch));
-                    cursor = 0;
-                }
-                indices.push(order[cursor]);
-                cursor += 1;
-            }
+        let remaining = self.config.iterations.saturating_sub(self.step);
+        let mut stats = Vec::with_capacity(remaining);
+        let mut stream =
+            EpochStream::at_position(dataset, self.config.seed, self.epoch, self.cursor);
+        for _ in 0..remaining {
+            let indices = stream.next_batch(dataset, self.config.batch_size);
             let (targets, masks) = dataset.batch(&indices);
             stats.push(self.train_step(&targets, &masks));
-            if (step + 1) % check_every == 0 || step + 1 == self.config.iterations {
-                let report =
-                    crate::validate::evaluate_generator(&mut self.generator, model, validation)?;
-                let better =
-                    best.as_ref().map(|(b, _)| report.litho_error < b.litho_error).unwrap_or(true);
-                if better {
-                    best = Some((report, self.generator.export_params()));
-                }
+            (self.epoch, self.cursor) = stream.position();
+            if self.step.is_multiple_of(check_every) || self.step == self.config.iterations {
+                self.validation_checkpoint(model, validation)?;
             }
         }
-        let (report, snapshot) = best.expect("at least one validation checkpoint");
-        self.generator.import_params(&snapshot)?;
+        if self.best.is_none() {
+            // Resumed past the end (or a zero-length budget): score the
+            // current weights so there is always a best checkpoint.
+            self.validation_checkpoint(model, validation)?;
+        }
+        // Restore the best checkpoint as one unit: generator *and*
+        // discriminator weights *and* both optimizers' velocity, so
+        // continued training does not take steps with momentum aimed at
+        // the discarded final-step weights.
+        let best = self.best.as_ref().expect("validation checkpoint recorded above");
+        let report = best.report;
+        self.generator.import_params(&best.generator)?;
+        self.discriminator.import_params(&best.discriminator)?;
+        self.opt_g.import_state(best.opt_g.clone());
+        self.opt_d.import_state(best.opt_d.clone());
         Ok((stats, report))
     }
 
-    /// Trains for `config.iterations` steps over the dataset, returning the
-    /// per-step statistics (the Fig. 7 curve).
+    /// Scores the generator on the validation set and snapshots the full
+    /// training state if this is the best checkpoint so far.
+    fn validation_checkpoint(
+        &mut self,
+        model: &ganopc_litho::LithoModel,
+        validation: &OpcDataset,
+    ) -> Result<(), GanOpcError> {
+        let report = crate::validate::evaluate_generator(&mut self.generator, model, validation)?;
+        let better =
+            self.best.as_ref().map(|b| report.litho_error < b.report.litho_error).unwrap_or(true);
+        if better {
+            self.best = Some(BestSnapshot {
+                report,
+                generator: self.generator.export_params(),
+                discriminator: self.discriminator.export_params(),
+                opt_g: self.opt_g.export_state(),
+                opt_d: self.opt_d.export_state(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Trains until `config.iterations` total steps have run (a fresh
+    /// trainer runs all of them; a resumed one only the remainder),
+    /// returning the per-step statistics (the Fig. 7 curve).
     pub fn train(&mut self, dataset: &OpcDataset) -> Vec<StepStats> {
-        let mut stats = Vec::with_capacity(self.config.iterations);
-        let mut order = dataset.epoch_order(self.config.seed);
-        let mut cursor = 0usize;
-        let mut epoch = 0u64;
-        for _ in 0..self.config.iterations {
-            // Draw the next mini-batch, reshuffling at epoch boundaries.
-            let mut indices = Vec::with_capacity(self.config.batch_size);
-            while indices.len() < self.config.batch_size {
-                if cursor == order.len() {
-                    epoch += 1;
-                    order = dataset.epoch_order(self.config.seed.wrapping_add(epoch));
-                    cursor = 0;
-                }
-                indices.push(order[cursor]);
-                cursor += 1;
-            }
+        let remaining = self.config.iterations.saturating_sub(self.step);
+        self.train_for(dataset, remaining)
+    }
+
+    /// Runs exactly `steps` further training steps on the dataset's
+    /// deterministic shuffle stream.
+    ///
+    /// Interrupting a run after any step, checkpointing, resuming, and
+    /// calling `train_for` with the remainder reproduces an uninterrupted
+    /// run bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dataset is smaller than the saved shuffle cursor
+    /// (i.e. it is not the dataset this trainer was training on).
+    pub fn train_for(&mut self, dataset: &OpcDataset, steps: usize) -> Vec<StepStats> {
+        let mut stream =
+            EpochStream::at_position(dataset, self.config.seed, self.epoch, self.cursor);
+        let mut stats = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            let indices = stream.next_batch(dataset, self.config.batch_size);
             let (targets, masks) = dataset.batch(&indices);
             stats.push(self.train_step(&targets, &masks));
+            (self.epoch, self.cursor) = stream.position();
         }
         stats
     }
+
+    /// Serializes the complete training state into a v2 [`Checkpoint`].
+    pub fn to_checkpoint(&mut self) -> Checkpoint {
+        let mut ck = Checkpoint::new();
+        ck.put_bytes("meta/kind", TRAINER_KIND.to_vec());
+        self.config.put_into(&mut ck);
+        ck.put_u64("arch/size", self.generator.size() as u64);
+        ck.put_u64("arch/g_base", self.generator.base_channels() as u64);
+        ck.put_u64("arch/d_base", self.discriminator.base_channels() as u64);
+        ck.put_u64("arch/d_pair", self.discriminator.takes_pairs() as u64);
+        ck.put_tensors("g/params", self.generator.export_params());
+        ck.put_tensors("d/params", self.discriminator.export_params());
+        ck.put_tensors("opt_g/velocity", self.opt_g.export_state());
+        ck.put_tensors("opt_d/velocity", self.opt_d.export_state());
+        ck.put_u64("progress/step", self.step as u64);
+        ck.put_u64("progress/epoch", self.epoch);
+        ck.put_u64("progress/cursor", self.cursor as u64);
+        if let Some(best) = &self.best {
+            best.report.put_into(&mut ck, "best/report");
+            ck.put_tensors("best/g_params", best.generator.clone());
+            ck.put_tensors("best/d_params", best.discriminator.clone());
+            ck.put_tensors("best/opt_g", best.opt_g.clone());
+            ck.put_tensors("best/opt_d", best.opt_d.clone());
+        }
+        ck
+    }
+
+    /// Reconstructs a trainer from a checkpoint produced by
+    /// [`GanTrainer::to_checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GanOpcError::Checkpoint`] for missing/mistyped sections
+    /// and [`GanOpcError::Config`] for inconsistent architecture or
+    /// optimizer state.
+    pub fn from_checkpoint(mut ck: Checkpoint) -> Result<Self, GanOpcError> {
+        match ck.get_bytes("meta/kind") {
+            Ok(kind) if kind == TRAINER_KIND => {}
+            Ok(kind) => {
+                return Err(GanOpcError::Config(format!(
+                    "checkpoint holds '{}', not a gan trainer state",
+                    String::from_utf8_lossy(kind)
+                )))
+            }
+            Err(e) => return Err(e.into()),
+        }
+        let config = TrainConfig::read_from(&ck)?;
+        let size = ck.get_u64("arch/size")? as usize;
+        let g_base = ck.get_u64("arch/g_base")? as usize;
+        let d_base = ck.get_u64("arch/d_base")? as usize;
+        let d_pair = ck.get_u64("arch/d_pair")? != 0;
+        // Bound the scalars before they reach network constructors: an
+        // untrusted checkpoint must not be able to panic or demand
+        // terabytes via a giant "resolution".
+        if !(8..=8192).contains(&size)
+            || !size.is_power_of_two()
+            || !(1..=1024).contains(&g_base)
+            || !(1..=1024).contains(&d_base)
+        {
+            return Err(GanOpcError::Config(format!(
+                "implausible checkpoint architecture: size {size}, bases {g_base}/{d_base}"
+            )));
+        }
+        // Seeds only affect the initialization that is immediately
+        // overwritten by the imported weights.
+        let mut generator = Generator::new(size, g_base, 0);
+        let mut discriminator = if d_pair {
+            Discriminator::new(size, d_base, 0)
+        } else {
+            Discriminator::mask_only(size, d_base, 0)
+        };
+        generator.import_params(&ck.take_tensors("g/params")?)?;
+        discriminator.import_params(&ck.take_tensors("d/params")?)?;
+        let mut opt_g = Sgd::new(config.lr_generator, config.momentum);
+        let mut opt_d = Sgd::new(config.lr_discriminator, config.momentum);
+        let vel_g = ck.take_tensors("opt_g/velocity")?;
+        let vel_d = ck.take_tensors("opt_d/velocity")?;
+        check_velocity(generator.net_mut(), &vel_g, "generator")?;
+        check_velocity(discriminator.net_mut(), &vel_d, "discriminator")?;
+        opt_g.import_state(vel_g);
+        opt_d.import_state(vel_d);
+        let step = ck.get_u64("progress/step")? as usize;
+        let epoch = ck.get_u64("progress/epoch")?;
+        let cursor = ck.get_u64("progress/cursor")? as usize;
+        let best = if ck.contains("best/g_params") {
+            let report = ValidationReport::read_from(&ck, "best/report")?;
+            let g_params = ck.take_tensors("best/g_params")?;
+            let d_params = ck.take_tensors("best/d_params")?;
+            let opt_g_best = ck.take_tensors("best/opt_g")?;
+            let opt_d_best = ck.take_tensors("best/opt_d")?;
+            Some(BestSnapshot {
+                report,
+                generator: g_params,
+                discriminator: d_params,
+                opt_g: opt_g_best,
+                opt_d: opt_d_best,
+            })
+        } else {
+            None
+        };
+        Ok(GanTrainer { generator, discriminator, opt_g, opt_d, config, step, epoch, cursor, best })
+    }
+
+    /// Atomically writes the complete training state to `path`: a crash
+    /// mid-save leaves the previous checkpoint (or no file) at `path`,
+    /// never a truncated one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save_checkpoint<P: AsRef<Path>>(&mut self, path: P) -> Result<(), GanOpcError> {
+        self.to_checkpoint().save(path)?;
+        Ok(())
+    }
+
+    /// Reconstructs a trainer from a checkpoint file written by
+    /// [`GanTrainer::save_checkpoint`]; [`GanTrainer::train`] then
+    /// continues exactly where the saved run stopped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and format failures; corrupt or truncated files
+    /// surface as [`GanOpcError::Checkpoint`].
+    pub fn resume<P: AsRef<Path>>(path: P) -> Result<Self, GanOpcError> {
+        GanTrainer::from_checkpoint(Checkpoint::load(path)?)
+    }
+}
+
+/// Validates an optimizer-velocity snapshot against the network it will
+/// drive: either empty (optimizer never stepped) or one tensor per
+/// parameter with matching shapes.
+pub(crate) fn check_velocity(
+    net: &mut ganopc_nn::layers::Sequential,
+    velocity: &[Tensor],
+    what: &str,
+) -> Result<(), GanOpcError> {
+    if velocity.is_empty() {
+        return Ok(());
+    }
+    let mut shapes: Vec<Vec<usize>> = Vec::new();
+    net.visit_params(&mut |p| shapes.push(p.value.shape().to_vec()));
+    let matches = velocity.len() == shapes.len()
+        && velocity.iter().zip(&shapes).all(|(v, s)| v.shape() == &s[..]);
+    if !matches {
+        return Err(GanOpcError::Config(format!(
+            "{what} optimizer velocity does not match the network layout"
+        )));
+    }
+    Ok(())
 }
 
 impl std::fmt::Debug for GanTrainer {

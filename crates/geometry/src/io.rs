@@ -6,6 +6,67 @@
 use crate::raster::Raster;
 use std::io::{self, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomically writes `bytes` to `path`.
+///
+/// The payload is first written to a temporary file in the *same*
+/// directory, flushed and `fsync`ed, then renamed over the final path.
+/// A crash (or write failure) at any point leaves either the previous
+/// file or no file at `path` — never a truncated one. Every artifact the
+/// workspace persists (checkpoints, PGM images, CSVs) goes through this
+/// helper.
+///
+/// # Errors
+///
+/// Propagates I/O failures; on failure the temporary file is removed and
+/// the final path is untouched.
+pub fn write_atomic<P: AsRef<Path>>(path: P, bytes: &[u8]) -> io::Result<()> {
+    write_atomic_with(path, |w| w.write_all(bytes))
+}
+
+/// Atomic-write plumbing: `fill` streams the payload into a buffered
+/// temporary file; on success the file is synced and renamed into place,
+/// on failure the temporary is removed and the final path is untouched.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `fill`, the sync, or the rename.
+pub fn write_atomic_with<P: AsRef<Path>>(
+    path: P,
+    fill: impl FnOnce(&mut dyn Write) -> io::Result<()>,
+) -> io::Result<()> {
+    // Distinct temp names let concurrent writers in one directory coexist.
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let path = path.as_ref();
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("cannot write {}: no file name", path.display()),
+        )
+    })?;
+    let tmp = dir.join(format!(
+        ".{}.{}.{}.tmp",
+        name.to_string_lossy(),
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let written = (|| {
+        let mut writer = io::BufWriter::new(std::fs::File::create(&tmp)?);
+        fill(&mut writer)?;
+        let file = writer.into_inner().map_err(|e| e.into_error())?;
+        file.sync_all()
+    })();
+    let renamed = written.and_then(|()| std::fs::rename(&tmp, path));
+    if renamed.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    renamed
+}
 
 /// Encodes a raster as a binary (P5) PGM image.
 ///
@@ -31,8 +92,7 @@ pub fn pgm_bytes(raster: &Raster) -> Vec<u8> {
 ///
 /// Propagates any I/O error from creating or writing the file.
 pub fn write_pgm<P: AsRef<Path>>(path: P, raster: &Raster) -> io::Result<()> {
-    let mut file = std::fs::File::create(path)?;
-    file.write_all(&pgm_bytes(raster))
+    write_atomic(path, &pgm_bytes(raster))
 }
 
 /// Horizontally concatenates rasters (all must share a height) with a
@@ -117,6 +177,65 @@ mod tests {
         let bytes = std::fs::read(&path).unwrap();
         assert_eq!(bytes, pgm_bytes(&r));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ganopc-io-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn leftover_tmp_files(dir: &Path) -> Vec<std::path::PathBuf> {
+        std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "tmp"))
+            .collect()
+    }
+
+    #[test]
+    fn write_atomic_replaces_existing_file() {
+        let dir = tmp_dir("atomic");
+        let path = dir.join("data.bin");
+        write_atomic(&path, b"first").unwrap();
+        write_atomic(&path, b"second, longer").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer");
+        assert!(leftover_tmp_files(&dir).is_empty(), "tmp file leaked");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_write_leaves_no_partial_file() {
+        let dir = tmp_dir("atomic-fail");
+        let path = dir.join("data.bin");
+        // Injected mid-write failure: some bytes are written, then the
+        // producer dies. Neither a truncated final file nor a stray tmp
+        // file may remain.
+        let err = write_atomic_with(&path, |w| {
+            w.write_all(b"partial payload")?;
+            Err(io::Error::other("injected crash"))
+        });
+        assert!(err.is_err());
+        assert!(!path.exists(), "partial file visible at final path");
+        assert!(leftover_tmp_files(&dir).is_empty(), "tmp file leaked");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_write_preserves_previous_contents() {
+        let dir = tmp_dir("atomic-keep");
+        let path = dir.join("data.bin");
+        write_atomic(&path, b"stable").unwrap();
+        let _ = write_atomic_with(&path, |_| Err(io::Error::other("injected crash")));
+        assert_eq!(std::fs::read(&path).unwrap(), b"stable");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_rejects_directory_target() {
+        let dir = tmp_dir("atomic-dirtarget");
+        assert!(write_atomic(dir.join(".."), b"x").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

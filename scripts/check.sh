@@ -16,4 +16,7 @@ cargo test -q --workspace
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 
+echo "==> resume smoke test (checkpoint/restore bit-identity)"
+cargo run --release --example resume_training
+
 echo "All checks passed."

@@ -43,6 +43,9 @@ COMMANDS:
                    --out FILE (default model.ckpt)  --count N (default 40)
                    --net PX (default 64)  --iters N (default 300)
                    --pretrain N (default 100)  --seed N
+                   --state FILE (also save the full resumable trainer state)
+                   --resume FILE (continue a run saved with --state; pass the
+                     same --count/--net/--seed so the dataset matches)
     evaluate     run the GAN-OPC flow over the 10 benchmark clips
                    --ckpt FILE (required)  --net PX (default 64)
                    --size PX (default 128)
@@ -179,33 +182,51 @@ fn cmd_train(args: &HashMap<String, String>) -> Result<(), String> {
     ref_cfg.max_iterations = 50;
     let dataset = OpcDataset::synthesize(net, count, ref_cfg, seed).map_err(|e| e.to_string())?;
 
-    let mut generator = Generator::new(net, 8, seed);
-    if pretrain > 0 {
-        eprintln!("[2/3] ILT-guided pre-training ({pretrain} steps)...");
-        let model = LithoModel::iccad2013_like_cached(net).map_err(|e| e.to_string())?;
-        let mut pcfg = PretrainConfig::paper_scaled();
-        pcfg.iterations = pretrain;
-        let stats = pretrain_generator(&mut generator, &model, &dataset, &pcfg)
-            .map_err(|e| e.to_string())?;
+    let mut trainer = if let Some(state) = args.get("resume") {
+        let trainer =
+            GanTrainer::resume(state).map_err(|e| format!("cannot resume from {state}: {e}"))?;
         eprintln!(
-            "      litho error {:.0} -> {:.0}",
-            stats.first().map(|s| s.litho_error).unwrap_or(0.0),
-            stats.last().map(|s| s.litho_error).unwrap_or(0.0)
+            "[2/3] resumed trainer from {state} at step {}/{}",
+            trainer.step(),
+            trainer.config().iterations
         );
+        trainer
     } else {
-        eprintln!("[2/3] skipping pre-training (--pretrain 0)");
-    }
+        let mut generator = Generator::new(net, 8, seed);
+        if pretrain > 0 {
+            eprintln!("[2/3] ILT-guided pre-training ({pretrain} steps)...");
+            let model = LithoModel::iccad2013_like_cached(net).map_err(|e| e.to_string())?;
+            let mut pcfg = PretrainConfig::paper_scaled();
+            pcfg.iterations = pretrain;
+            let stats = pretrain_generator(&mut generator, &model, &dataset, &pcfg)
+                .map_err(|e| e.to_string())?;
+            eprintln!(
+                "      litho error {:.0} -> {:.0}",
+                stats.first().map(|s| s.litho_error).unwrap_or(0.0),
+                stats.last().map(|s| s.litho_error).unwrap_or(0.0)
+            );
+        } else {
+            eprintln!("[2/3] skipping pre-training (--pretrain 0)");
+        }
+        let mut tcfg = TrainConfig::paper_scaled();
+        tcfg.iterations = iters;
+        GanTrainer::new(generator, Discriminator::new(net, 8, seed ^ 1), tcfg)
+    };
 
-    eprintln!("[3/3] adversarial training ({iters} steps)...");
-    let mut tcfg = TrainConfig::paper_scaled();
-    tcfg.iterations = iters;
-    let mut trainer = GanTrainer::new(generator, Discriminator::new(net, 8, seed ^ 1), tcfg);
+    let remaining = trainer.config().iterations.saturating_sub(trainer.step());
+    eprintln!("[3/3] adversarial training ({remaining} steps)...");
     let stats = trainer.train(&dataset);
     eprintln!(
         "      mask L2 loss {:.4} -> {:.4}",
         stats.first().map(|s| s.l2_loss).unwrap_or(0.0),
         stats.last().map(|s| s.l2_loss).unwrap_or(0.0)
     );
+    if let Some(state) = args.get("state") {
+        trainer
+            .save_checkpoint(state)
+            .map_err(|e| format!("cannot save trainer state to {state}: {e}"))?;
+        println!("saved resumable trainer state to {state}");
+    }
     let (mut generator, _) = trainer.into_networks();
     generator.save(&out).map_err(|e| e.to_string())?;
     println!("saved generator checkpoint to {out}");

@@ -48,7 +48,8 @@ pub use ganopc_nn as nn;
 /// Common imports for working with the GAN-OPC stack.
 pub mod prelude {
     pub use ganopc_core::{
-        Discriminator, FlowConfig, GanOpcFlow, GanTrainer, Generator, PretrainConfig, TrainConfig,
+        Discriminator, FlowConfig, GanOpcFlow, GanTrainer, Generator, PretrainConfig, Pretrainer,
+        TrainConfig,
     };
     pub use ganopc_geometry::{ClipSynthesizer, DesignRules, Layout, Rect};
     pub use ganopc_ilt::{IltConfig, IltEngine, IltResult};
