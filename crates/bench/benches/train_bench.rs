@@ -1,0 +1,49 @@
+//! Criterion bench B6: steady-state hot paths of the training loop and the
+//! serving path — one full Algorithm 1 step and a batched generator
+//! inference pass.
+//!
+//! Both benches reuse one trainer/generator across iterations, so after the
+//! first call they measure the persistent-buffer steady state rather than
+//! first-call buffer growth.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ganopc_core::{Discriminator, GanTrainer, Generator, TrainConfig};
+use ganopc_nn::init;
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(20);
+    // Synthetic batch: train_step is data-agnostic, so random clips avoid
+    // paying an ILT dataset synthesis in the harness.
+    let targets = init::uniform(&[4, 1, 32, 32], 0.0, 1.0, 41);
+    let masks = init::uniform(&[4, 1, 32, 32], 0.0, 1.0, 42);
+    let mut cfg = TrainConfig::fast();
+    cfg.iterations = usize::MAX / 2; // never exhausted by the harness
+    cfg.batch_size = 4;
+    let mut trainer =
+        GanTrainer::new(Generator::new(32, 16, 11), Discriminator::new(32, 16, 12), cfg);
+    group.bench_function("step_batch4_32px_base16", |b| {
+        b.iter(|| black_box(trainer.train_step(&targets, &masks)))
+    });
+    group.finish();
+}
+
+fn bench_generator_infer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator_infer");
+    group.sample_size(20);
+    for (size, batch) in [(32usize, 4usize), (64, 1)] {
+        let mut g = Generator::new(size, 16, 7);
+        let x = init::uniform(&[batch, 1, size, size], 0.0, 1.0, 3);
+        let mut out = ganopc_nn::Tensor::zeros(&[1]);
+        group.bench_function(format!("infer_{size}_batch{batch}"), |b| {
+            b.iter(|| {
+                g.infer_into(&x, &mut out);
+                black_box(out.as_slice()[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_step, bench_generator_infer);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Component-level wall-clock profile of one GAN training step: the full
+//! `train_step` average plus each forward/backward leg in isolation, so a
+//! perf change can be attributed to a specific network pass. Complements
+//! the criterion `train_bench` medians with a quick, no-harness breakdown.
+
+use ganopc_core::{Discriminator, GanTrainer, Generator, TrainConfig};
+use ganopc_nn::{init, Tensor};
+use std::time::Instant;
+
+fn main() {
+    let targets = init::uniform(&[4, 1, 32, 32], 0.0, 1.0, 41);
+    let masks_ref = init::uniform(&[4, 1, 32, 32], 0.0, 1.0, 42);
+    let mut cfg = TrainConfig::fast();
+    cfg.iterations = usize::MAX / 2;
+    cfg.batch_size = 4;
+    let mut trainer =
+        GanTrainer::new(Generator::new(32, 16, 11), Discriminator::new(32, 16, 12), cfg);
+    for _ in 0..3 {
+        trainer.train_step(&targets, &masks_ref);
+    }
+    let t0 = Instant::now();
+    for _ in 0..20 {
+        trainer.train_step(&targets, &masks_ref);
+    }
+    println!("train_step avg: {:.3} ms", t0.elapsed().as_secs_f64() * 50.0);
+
+    // Component timing
+    let mut g = Generator::new(32, 16, 11);
+    let mut d = Discriminator::new(32, 16, 12);
+    let mut m = Tensor::zeros(&[1]);
+    let mut p = Tensor::zeros(&[1]);
+    let mut gm = Tensor::zeros(&[1]);
+    g.forward_into(&targets, &mut m, true);
+    d.forward_pair_into(&targets, &m, &mut p, true);
+    d.backward_pair_into(&Tensor::filled(&[4, 1], 0.1), &mut gm);
+    g.backward_discard(&gm);
+
+    let reps = 40;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        g.forward_into(&targets, &mut m, true);
+    }
+    println!("G fwd:  {:.3} ms", t0.elapsed().as_secs_f64() * 1000.0 / reps as f64);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        g.backward_discard(&gm);
+    }
+    println!("G bwd(discard): {:.3} ms", t0.elapsed().as_secs_f64() * 1000.0 / reps as f64);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        d.forward_pair_into(&targets, &m, &mut p, true);
+    }
+    println!("D fwd:  {:.3} ms", t0.elapsed().as_secs_f64() * 1000.0 / reps as f64);
+    let gp = Tensor::filled(&[4, 1], 0.1);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        d.backward_pair_into(&gp, &mut gm);
+    }
+    println!("D bwd(into): {:.3} ms", t0.elapsed().as_secs_f64() * 1000.0 / reps as f64);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        d.backward_pair_discard(&gp);
+    }
+    println!("D bwd(discard): {:.3} ms", t0.elapsed().as_secs_f64() * 1000.0 / reps as f64);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        g.net_mut().zero_grads();
+        d.net_mut().zero_grads();
+    }
+    println!("zero_grads G+D: {:.3} ms", t0.elapsed().as_secs_f64() * 1000.0 / reps as f64);
+}

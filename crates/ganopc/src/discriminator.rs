@@ -32,6 +32,10 @@ pub struct Discriminator {
     /// Whether the network takes pairs (2 channels) or bare masks
     /// (1 channel — the conventional-GAN ablation of Section 3.2).
     pair_input: bool,
+    /// Persistent 2-channel input buffer for the `_into` pair paths.
+    scratch_pair: Tensor,
+    /// Persistent 2-channel input-gradient buffer for the `_into` paths.
+    scratch_grad_pair: Tensor,
 }
 
 impl Discriminator {
@@ -74,7 +78,14 @@ impl Discriminator {
         net.push(Flatten::new());
         net.push(Linear::new(ch * 16, 1, seed.wrapping_add(777)));
         net.push(Sigmoid::new());
-        Discriminator { net, size, base_channels, pair_input: pair }
+        Discriminator {
+            net,
+            size,
+            base_channels,
+            pair_input: pair,
+            scratch_pair: Tensor::zeros(&[1]),
+            scratch_grad_pair: Tensor::zeros(&[1]),
+        }
     }
 
     /// Input spatial size.
@@ -109,6 +120,25 @@ impl Discriminator {
         self.net.forward(&x, train)
     }
 
+    /// Allocation-free counterpart of [`Discriminator::forward_pair`]:
+    /// stacks the pair into a persistent scratch buffer and writes the
+    /// probabilities `[N, 1]` into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for mask-only discriminators or on shape mismatch.
+    pub fn forward_pair_into(
+        &mut self,
+        targets: &Tensor,
+        masks: &Tensor,
+        out: &mut Tensor,
+        train: bool,
+    ) {
+        assert!(self.pair_input, "mask-only discriminator cannot take pairs");
+        self.scratch_pair.concat_channels_into(&[targets, masks]);
+        self.net.forward_into(&self.scratch_pair, out, train);
+    }
+
     /// Classifies bare masks (mask-only ablation).
     ///
     /// # Panics
@@ -133,6 +163,31 @@ impl Discriminator {
         (it.next().expect("target grad"), it.next().expect("mask grad"))
     }
 
+    /// Allocation-free backward through the pair discriminator that keeps
+    /// only the mask-channel gradient (the generator update consumes
+    /// ∂L/∂M; ∂L/∂Z_t is never used), written into `grad_mask`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for mask-only discriminators.
+    pub fn backward_pair_into(&mut self, grad_prob: &Tensor, grad_mask: &mut Tensor) {
+        assert!(self.pair_input, "mask-only discriminator cannot split pair gradients");
+        self.net.backward_into(grad_prob, Some(&mut self.scratch_grad_pair));
+        self.scratch_grad_pair.extract_channels_into(1, 1, grad_mask);
+    }
+
+    /// Backward through the pair discriminator discarding the input
+    /// gradient entirely — the discriminator-update path, where only the
+    /// parameter gradients matter.
+    ///
+    /// # Panics
+    ///
+    /// Panics for mask-only discriminators.
+    pub fn backward_pair_discard(&mut self, grad_prob: &Tensor) {
+        assert!(self.pair_input, "mask-only discriminator cannot split pair gradients");
+        self.net.backward_discard(grad_prob);
+    }
+
     /// Back-propagates for the mask-only ablation, returning the mask
     /// gradient.
     pub fn backward_mask(&mut self, grad_prob: &Tensor) -> Tensor {
@@ -153,6 +208,11 @@ impl Discriminator {
     /// Snapshot of all weights.
     pub fn export_params(&mut self) -> Vec<Tensor> {
         self.net.export_params()
+    }
+
+    /// Writes a weight snapshot into `out`, reusing its allocations.
+    pub fn export_params_into(&mut self, out: &mut Vec<Tensor>) {
+        self.net.export_params_into(out);
     }
 
     /// Restores a snapshot.
@@ -237,6 +297,37 @@ mod tests {
         let mut d = Discriminator::mask_only(16, 4, 5);
         let t = Tensor::zeros(&[1, 1, 16, 16]);
         let _ = d.forward_pair(&t, &t, false);
+    }
+
+    #[test]
+    fn into_paths_match_allocating_paths() {
+        let t = init::uniform(&[2, 1, 16, 16], 0.0, 1.0, 1);
+        let m = init::uniform(&[2, 1, 16, 16], 0.0, 1.0, 2);
+        let gp = Tensor::from_vec(&[2, 1], vec![0.4, -0.7]);
+
+        let mut d_old = Discriminator::new(16, 4, 3);
+        let p_old = d_old.forward_pair(&t, &m, true);
+        let (_, gm_old) = d_old.backward_pair(&gp);
+
+        let mut d_new = Discriminator::new(16, 4, 3);
+        let mut p_new = Tensor::zeros(&[1]);
+        d_new.forward_pair_into(&t, &m, &mut p_new, true);
+        let mut gm_new = Tensor::zeros(&[1]);
+        d_new.backward_pair_into(&gp, &mut gm_new);
+
+        assert_eq!(p_new, p_old);
+        assert_eq!(gm_new, gm_old);
+
+        // The discard path accumulates the same parameter gradients.
+        let mut d_disc = Discriminator::new(16, 4, 3);
+        let mut p = Tensor::zeros(&[1]);
+        d_disc.forward_pair_into(&t, &m, &mut p, true);
+        d_disc.backward_pair_discard(&gp);
+        let mut grads_old = Vec::new();
+        d_old.net_mut().visit_params(&mut |p| grads_old.push(p.grad.clone()));
+        let mut grads_disc = Vec::new();
+        d_disc.net_mut().visit_params(&mut |p| grads_disc.push(p.grad.clone()));
+        assert_eq!(grads_disc, grads_old);
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! The GAN-OPC inference flow (paper Fig. 6): generator forward pass →
 //! linear upscale → ILT refinement.
 
-use crate::{field_to_tensor, tensor_to_field, GanOpcError, Generator};
+use crate::{field_to_tensor_into, tensor_to_field, GanOpcError, Generator};
 use ganopc_ilt::{IltConfig, IltEngine};
 use ganopc_litho::metrics::{DefectConfig, MaskMetrics};
 use ganopc_litho::{Field, LithoModel, OpticalConfig};
+use ganopc_nn::Tensor;
 use std::time::Instant;
 
 /// Physical span of one clip frame, nm (the paper's 2048 nm × 2048 nm
@@ -134,6 +135,10 @@ pub struct GanOpcFlow {
     config: FlowConfig,
     generator: Generator,
     engine: IltEngine,
+    // Persistent network I/O buffers: serving a mask reuses these across
+    // calls, so the generator stage performs no steady-state allocation.
+    net_input: Tensor,
+    net_mask: Tensor,
 }
 
 impl GanOpcFlow {
@@ -152,7 +157,13 @@ impl GanOpcFlow {
         let model = LithoModel::new_cached(opt, config.litho_size, config.litho_size)?;
         let generator = Generator::new(config.net_size, config.base_channels, config.seed);
         let engine = IltEngine::new(model, config.refinement.clone());
-        Ok(GanOpcFlow { config, generator, engine })
+        Ok(GanOpcFlow {
+            config,
+            generator,
+            engine,
+            net_input: Tensor::zeros(&[1]),
+            net_mask: Tensor::zeros(&[1]),
+        })
     }
 
     /// Builds the flow around an already-trained generator.
@@ -214,9 +225,9 @@ impl GanOpcFlow {
         let gen_start = Instant::now();
         let factor = self.config.pool_factor();
         let pooled = if factor == 1 { target.clone() } else { target.avg_pool(factor) };
-        let input = field_to_tensor(&pooled);
-        let mask_small = self.generator.forward(&input, false);
-        let mask_small_field = tensor_to_field(&mask_small, 0);
+        field_to_tensor_into(&pooled, &mut self.net_input);
+        self.generator.infer_into(&self.net_input, &mut self.net_mask);
+        let mask_small_field = tensor_to_field(&self.net_mask, 0);
         let mut generator_mask =
             if factor == 1 { mask_small_field } else { mask_small_field.upsample_bilinear(factor) };
         if let Some(halo_nm) = self.config.mask_halo_nm {

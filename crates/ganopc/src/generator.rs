@@ -105,11 +105,42 @@ impl Generator {
         self.net.forward(targets, train)
     }
 
+    /// Allocation-free counterpart of [`Generator::forward`]: writes the
+    /// generated masks into `out`, reusing its storage and the network's
+    /// persistent activation tape.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spatial size disagrees with the generator.
+    pub fn forward_into(&mut self, targets: &Tensor, out: &mut Tensor, train: bool) {
+        let (_, c, h, w) = targets.dims4();
+        assert_eq!((c, h, w), (1, self.size, self.size), "generator input shape mismatch");
+        self.net.forward_into(targets, out, train);
+    }
+
+    /// Batched no-grad inference fast path: generates masks for a batch of
+    /// targets in evaluation mode, writing into `out`. After a warmup call
+    /// at a given batch shape this performs no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spatial size disagrees with the generator.
+    pub fn infer_into(&mut self, targets: &Tensor, out: &mut Tensor) {
+        self.forward_into(targets, out, false);
+    }
+
     /// Back-propagates a gradient with respect to the generated masks,
     /// accumulating parameter gradients (Algorithm 1 line 9 / Algorithm 2
     /// line 8). Returns the gradient with respect to the input targets.
     pub fn backward(&mut self, grad_masks: &Tensor) -> Tensor {
         self.net.backward(grad_masks)
+    }
+
+    /// Backward pass that discards the input gradient — the generator is
+    /// the first network in the chain, so ∂L/∂Z_t is never consumed and the
+    /// first layer can skip computing it entirely.
+    pub fn backward_discard(&mut self, grad_masks: &Tensor) {
+        self.net.backward_discard(grad_masks);
     }
 
     /// Access to the underlying network (optimizers, parameter I/O).
@@ -125,6 +156,11 @@ impl Generator {
     /// Snapshot of all weights.
     pub fn export_params(&mut self) -> Vec<Tensor> {
         self.net.export_params()
+    }
+
+    /// Writes a weight snapshot into `out`, reusing its allocations.
+    pub fn export_params_into(&mut self, out: &mut Vec<Tensor>) {
+        self.net.export_params_into(out);
     }
 
     /// Restores a snapshot.

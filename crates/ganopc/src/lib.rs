@@ -123,6 +123,15 @@ pub fn field_to_tensor(field: &ganopc_litho::Field) -> ganopc_nn::Tensor {
     ganopc_nn::Tensor::from_vec(&[1, 1, h, w], field.as_slice().to_vec())
 }
 
+/// Buffer-reusing variant of [`field_to_tensor`]: writes the field into
+/// `out` (resized to `[1, 1, H, W]` in place) without allocating once `out`
+/// has the right capacity.
+pub fn field_to_tensor_into(field: &ganopc_litho::Field, out: &mut ganopc_nn::Tensor) {
+    let (h, w) = field.shape();
+    out.resize(&[1, 1, h, w]);
+    out.as_mut_slice().copy_from_slice(field.as_slice());
+}
+
 /// Converts batch item `n`, channel 0 of an `[N, 1, H, W]` tensor back into
 /// a litho field.
 ///

@@ -172,18 +172,22 @@ fn run_steps(
     steps: usize,
 ) -> Result<Vec<PretrainStats>, GanOpcError> {
     let mut stats = Vec::with_capacity(steps);
+    // Persistent step buffers: the generated masks and the batch gradient
+    // are sized once and reused for every mini-batch.
+    let mut masks = Tensor::zeros(&[1]);
+    let mut grad = Tensor::zeros(&[1]);
     for _ in 0..steps {
         let indices = stream.next_batch(dataset, config.batch_size);
         let (targets, _) = dataset.batch(&indices);
         // Line 5: M ← G(Z_t).
-        let masks = generator.forward(&targets, true);
+        generator.forward_into(&targets, &mut masks, true);
         // Lines 6–8: litho-simulate each mask, collect ∂E/∂M. Samples are
         // independent, so they fan out over the shared worker pool; each job
         // writes its own slice of the batch gradient, and the batch error is
         // reduced in sample order below so the result is identical for any
         // `GANOPC_THREADS` setting.
         let batch = indices.len();
-        let mut grad = Tensor::zeros(masks.shape());
+        grad.resize(masks.shape());
         let plane = dataset.size() * dataset.size();
         let jobs: Vec<(usize, usize, &mut [f32])> = indices
             .iter()
@@ -194,18 +198,21 @@ fn run_steps(
         let masks_ref = &masks;
         let errors = pool::run(jobs, |(bi, di, gslice)| -> Result<f64, GanOpcError> {
             let mask_field = tensor_to_field(masks_ref, bi);
-            // The allocation-free entry point writes ∂E/∂M straight into
-            // this sample's slice of the batch gradient; the aerial and
-            // wafer images it would otherwise build are never needed here.
+            // The allocation-free entry point zeroes this sample's slice of
+            // the batch gradient and writes ∂E/∂M straight into it; the
+            // aerial and wafer images it would otherwise build are never
+            // needed here.
             Ok(model.gradient_into(&mask_field, &dataset.targets()[di], 1.0, gslice)?)
         });
         let mut err_total = 0.0f64;
         for err in errors {
             err_total += err?;
         }
-        // Line 10: W_g ← W_g − (λ/m)·ΔW_g.
+        // Line 10: W_g ← W_g − (λ/m)·ΔW_g, with the 1/m scale applied in
+        // place and the unused input gradient skipped entirely.
         generator.zero_grads();
-        generator.backward(&grad.scale(1.0 / batch as f32));
+        grad.scale_assign(1.0 / batch as f32);
+        generator.backward_discard(&grad);
         opt.step(generator.net_mut());
         *step += 1;
         stats.push(PretrainStats { step: *step, litho_error: err_total / batch as f64 });
@@ -322,8 +329,8 @@ impl Pretrainer {
         self.config.put_into(&mut ck);
         ck.put_u64("arch/size", self.generator.size() as u64);
         ck.put_u64("arch/g_base", self.generator.base_channels() as u64);
-        ck.put_tensors("g/params", self.generator.export_params());
-        ck.put_tensors("opt/velocity", self.opt.export_state());
+        ck.put_tensors("g/params", &self.generator.export_params());
+        ck.put_tensors("opt/velocity", &self.opt.export_state());
         ck.put_u64("progress/step", self.step as u64);
         ck.put_u64("progress/epoch", self.epoch);
         ck.put_u64("progress/cursor", self.cursor as u64);

@@ -19,7 +19,7 @@ use crate::dataset::EpochStream;
 use crate::validate::ValidationReport;
 use crate::{Discriminator, GanOpcError, Generator, OpcDataset};
 use ganopc_nn::checkpoint::Checkpoint;
-use ganopc_nn::loss::{bce_scalar_label, sum_squared_error};
+use ganopc_nn::loss::{bce_scalar_label_into, sum_squared_error_acc_into};
 use ganopc_nn::optim::Sgd;
 use ganopc_nn::Tensor;
 use serde::{Deserialize, Serialize};
@@ -180,6 +180,28 @@ struct BestSnapshot {
     opt_d: Vec<Tensor>,
 }
 
+/// Persistent per-step work buffers: generated masks, discriminator
+/// probabilities and the two gradient tensors every [`GanTrainer::train_step`]
+/// needs. Sized on the first step and reused, so steady-state training
+/// performs no heap allocation in the step itself.
+struct TrainScratch {
+    masks: Tensor,
+    probs: Tensor,
+    grad_p: Tensor,
+    grad_masks: Tensor,
+}
+
+impl TrainScratch {
+    fn new() -> Self {
+        TrainScratch {
+            masks: Tensor::zeros(&[1]),
+            probs: Tensor::zeros(&[1]),
+            grad_p: Tensor::zeros(&[1]),
+            grad_masks: Tensor::zeros(&[1]),
+        }
+    }
+}
+
 /// The Algorithm 1 trainer: owns both networks and their optimizers.
 ///
 /// The trainer is fully resumable: [`GanTrainer::save_checkpoint`] persists
@@ -199,6 +221,7 @@ pub struct GanTrainer {
     epoch: u64,
     cursor: usize,
     best: Option<BestSnapshot>,
+    scratch: TrainScratch,
 }
 
 /// Format tag stored under `meta/kind` in trainer checkpoints.
@@ -230,6 +253,7 @@ impl GanTrainer {
             epoch: 0,
             cursor: 0,
             best: None,
+            scratch: TrainScratch::new(),
         }
     }
 
@@ -264,41 +288,69 @@ impl GanTrainer {
     }
 
     /// Runs one Algorithm 1 step on a mini-batch of `(Z_t, M*)`.
+    ///
+    /// Every intermediate (masks, probabilities, gradients) lives in the
+    /// trainer's persistent scratch, the 1/m batch normalization is fused
+    /// into the loss-gradient computation, and both networks run their
+    /// backward passes on the discard path — so after the first step at a
+    /// given batch shape this performs no heap allocation. The step runs
+    /// two discriminator forwards (fake, real) rather than the naive
+    /// three: the discriminator's fake-term backward replays the cached
+    /// activations of the adversarial forward, which stay valid because
+    /// the generator update in between touches only generator parameters.
     pub fn train_step(&mut self, targets: &Tensor, ref_masks: &Tensor) -> StepStats {
         self.step += 1;
         let batch = targets.shape()[0] as f32;
+        let TrainScratch { masks, probs, grad_p, grad_masks } = &mut self.scratch;
 
         // ---- Generator update: l_g = −log D(Z_t, M) + α‖M* − M‖² ----
-        let masks = self.generator.forward(targets, true);
-        let p_fake_for_g = self.discriminator.forward_pair(targets, &masks, true);
-        let (adv_loss, grad_p) = bce_scalar_label(&p_fake_for_g, 1.0);
+        self.generator.forward_into(targets, masks, true);
+        self.discriminator.forward_pair_into(targets, masks, probs, true);
+        let d_fake = mean_f64(probs);
+        // 1/m is folded straight into the BCE gradient; the loss value is
+        // reported unscaled.
+        let adv_loss = bce_scalar_label_into(probs, 1.0, 1.0 / batch, grad_p);
         // Route the adversarial gradient through D into the mask channel.
         self.discriminator.zero_grads();
-        let (_, grad_mask_adv) = self.discriminator.backward_pair(&grad_p);
-        // L2 pull toward the reference mask (Eq. (9)); normalize per batch
-        // and pixel so α is resolution independent.
-        let (sse, grad_mask_l2) = sum_squared_error(&masks, ref_masks);
+        self.discriminator.backward_pair_into(grad_p, grad_masks);
+        // D's half of the fake term reuses this same forward: `probs` still
+        // holds D(Z_t, M) (the generator update below only touches G
+        // parameters), so the label-0 gradient is computed here and replayed
+        // through the cached activations in the discriminator phase instead
+        // of paying a third discriminator forward.
+        let loss_fake = bce_scalar_label_into(probs, 0.0, 1.0 / batch, grad_p);
+        // L2 pull toward the reference mask (Eq. (9)); α/pixels keeps the
+        // weight resolution independent and 1/m matches the fused batch
+        // scale above. The scaled gradient accumulates onto the adversarial
+        // mask gradient in one pass.
         let pixels = (masks.len() as f32).max(1.0);
+        let sse = sum_squared_error_acc_into(
+            masks,
+            ref_masks,
+            self.config.alpha / pixels / batch,
+            grad_masks,
+        );
         let l2_loss = sse / pixels as f64;
-        let mut grad_masks = grad_mask_adv;
-        grad_masks.add_scaled_assign(&grad_mask_l2, self.config.alpha / pixels);
         self.generator.zero_grads();
-        self.generator.backward(&grad_masks.scale(1.0 / batch));
+        // The generator is first in the chain: ∂l/∂Z_t is never consumed.
+        self.generator.backward_discard(grad_masks);
         if let Some(clip) = self.config.clip_grad_norm {
             self.generator.net_mut().clip_gradients(clip);
         }
         self.opt_g.step(self.generator.net_mut());
-        // The generator pass polluted D's gradients; clear before D's turn.
-        self.discriminator.zero_grads();
 
         // ---- Discriminator update: BCE(real,1) + BCE(fake,0) ----
-        let p_real = self.discriminator.forward_pair(targets, ref_masks, true);
-        let (loss_real, grad_real) = bce_scalar_label(&p_real, 1.0);
-        self.discriminator.backward_pair(&grad_real.scale(1.0 / batch));
-        // Detach the generator: re-use `masks` as data (no G backward).
-        let p_fake = self.discriminator.forward_pair(targets, &masks, true);
-        let (loss_fake, grad_fake) = bce_scalar_label(&p_fake, 0.0);
-        self.discriminator.backward_pair(&grad_fake.scale(1.0 / batch));
+        // The adversarial pass polluted D's gradients; clear them, then
+        // replay the fake backward off the still-valid cached activations
+        // (the generator is detached — only parameter gradients matter, so
+        // the input gradient is discarded). The real forward afterwards
+        // overwrites those caches, so order matters here.
+        self.discriminator.zero_grads();
+        self.discriminator.backward_pair_discard(grad_p);
+        self.discriminator.forward_pair_into(targets, ref_masks, probs, true);
+        let d_real = mean_f64(probs);
+        let loss_real = bce_scalar_label_into(probs, 1.0, 1.0 / batch, grad_p);
+        self.discriminator.backward_pair_discard(grad_p);
         if let Some(clip) = self.config.clip_grad_norm {
             self.discriminator.net_mut().clip_gradients(clip);
         }
@@ -310,8 +362,8 @@ impl GanTrainer {
             adversarial_loss: adv_loss,
             l2_loss,
             discriminator_loss: loss_real + loss_fake,
-            d_real: p_real.as_slice().iter().map(|&v| v as f64).sum::<f64>() / p_real.len() as f64,
-            d_fake: p_fake.as_slice().iter().map(|&v| v as f64).sum::<f64>() / p_fake.len() as f64,
+            d_real,
+            d_fake,
         }
     }
 
@@ -376,13 +428,26 @@ impl GanTrainer {
         let better =
             self.best.as_ref().map(|b| report.litho_error < b.report.litho_error).unwrap_or(true);
         if better {
-            self.best = Some(BestSnapshot {
-                report,
-                generator: self.generator.export_params(),
-                discriminator: self.discriminator.export_params(),
-                opt_g: self.opt_g.export_state(),
-                opt_d: self.opt_d.export_state(),
-            });
+            // Overwrite the previous snapshot's buffers in place instead of
+            // cloning four full parameter/optimizer sets per improvement.
+            match &mut self.best {
+                Some(b) => {
+                    b.report = report;
+                    self.generator.export_params_into(&mut b.generator);
+                    self.discriminator.export_params_into(&mut b.discriminator);
+                    self.opt_g.export_state_into(&mut b.opt_g);
+                    self.opt_d.export_state_into(&mut b.opt_d);
+                }
+                None => {
+                    self.best = Some(BestSnapshot {
+                        report,
+                        generator: self.generator.export_params(),
+                        discriminator: self.discriminator.export_params(),
+                        opt_g: self.opt_g.export_state(),
+                        opt_d: self.opt_d.export_state(),
+                    });
+                }
+            }
         }
         Ok(())
     }
@@ -428,19 +493,19 @@ impl GanTrainer {
         ck.put_u64("arch/g_base", self.generator.base_channels() as u64);
         ck.put_u64("arch/d_base", self.discriminator.base_channels() as u64);
         ck.put_u64("arch/d_pair", self.discriminator.takes_pairs() as u64);
-        ck.put_tensors("g/params", self.generator.export_params());
-        ck.put_tensors("d/params", self.discriminator.export_params());
-        ck.put_tensors("opt_g/velocity", self.opt_g.export_state());
-        ck.put_tensors("opt_d/velocity", self.opt_d.export_state());
+        ck.put_tensors("g/params", &self.generator.export_params());
+        ck.put_tensors("d/params", &self.discriminator.export_params());
+        ck.put_tensors("opt_g/velocity", &self.opt_g.export_state());
+        ck.put_tensors("opt_d/velocity", &self.opt_d.export_state());
         ck.put_u64("progress/step", self.step as u64);
         ck.put_u64("progress/epoch", self.epoch);
         ck.put_u64("progress/cursor", self.cursor as u64);
         if let Some(best) = &self.best {
             best.report.put_into(&mut ck, "best/report");
-            ck.put_tensors("best/g_params", best.generator.clone());
-            ck.put_tensors("best/d_params", best.discriminator.clone());
-            ck.put_tensors("best/opt_g", best.opt_g.clone());
-            ck.put_tensors("best/opt_d", best.opt_d.clone());
+            ck.put_tensors("best/g_params", &best.generator);
+            ck.put_tensors("best/d_params", &best.discriminator);
+            ck.put_tensors("best/opt_g", &best.opt_g);
+            ck.put_tensors("best/opt_d", &best.opt_d);
         }
         ck
     }
@@ -518,7 +583,18 @@ impl GanTrainer {
         } else {
             None
         };
-        Ok(GanTrainer { generator, discriminator, opt_g, opt_d, config, step, epoch, cursor, best })
+        Ok(GanTrainer {
+            generator,
+            discriminator,
+            opt_g,
+            opt_d,
+            config,
+            step,
+            epoch,
+            cursor,
+            best,
+            scratch: TrainScratch::new(),
+        })
     }
 
     /// Atomically writes the complete training state to `path`: a crash
@@ -544,6 +620,11 @@ impl GanTrainer {
     pub fn resume<P: AsRef<Path>>(path: P) -> Result<Self, GanOpcError> {
         GanTrainer::from_checkpoint(Checkpoint::load(path)?)
     }
+}
+
+/// Mean of a probability tensor in f64 (for [`StepStats`]).
+fn mean_f64(t: &Tensor) -> f64 {
+    t.as_slice().iter().map(|&v| v as f64).sum::<f64>() / t.len().max(1) as f64
 }
 
 /// Validates an optimizer-velocity snapshot against the network it will

@@ -7,7 +7,7 @@
 //! (vs ILT references) and the true lithography error of the generated
 //! masks.
 
-use crate::{field_to_tensor, tensor_to_field, GanOpcError, Generator, OpcDataset};
+use crate::{field_to_tensor_into, tensor_to_field, GanOpcError, Generator, OpcDataset};
 use ganopc_litho::LithoModel;
 use serde::{Deserialize, Serialize};
 
@@ -112,9 +112,13 @@ pub fn evaluate_generator(
     }
     let mut mask_l2 = 0.0f64;
     let mut litho_error = 0.0f64;
+    // Network I/O buffers hoisted out of the loop: `infer_into` reuses them,
+    // so evaluation allocates per instance only for litho-side fields.
+    let mut input = ganopc_nn::Tensor::zeros(&[1]);
+    let mut generated = ganopc_nn::Tensor::zeros(&[1]);
     for (target, reference) in dataset.targets().iter().zip(dataset.masks()) {
-        let input = field_to_tensor(target);
-        let generated = generator.forward(&input, false);
+        field_to_tensor_into(target, &mut input);
+        generator.infer_into(&input, &mut generated);
         let mask = tensor_to_field(&generated, 0);
         mask_l2 += mask.squared_l2_distance(reference) / mask.len() as f64;
         let aerial = model.aerial_image(&mask);

@@ -1,0 +1,89 @@
+//! Allocation-regression guard for the zero-allocation engine.
+//!
+//! After a warmup that sizes every persistent buffer (layer scratch, the
+//! Sequential tape, optimizer moments, loss-gradient buffers, the trainer's
+//! own scratch), steady-state `GanTrainer::train_step` and
+//! `Generator::infer_into` must perform **zero** heap allocations. A counting
+//! global allocator makes any regression an immediate test failure rather
+//! than a slow perf drift.
+//!
+//! The guarantee holds on the serial path only — the thread pool's parallel
+//! dispatch collects job lists — so the test pins the pool to one worker.
+//! This is the single test in this binary because both the allocator counter
+//! and the thread override are process-wide.
+
+use ganopc_core::{Discriminator, GanTrainer, Generator, OpcDataset, TrainConfig};
+use ganopc_ilt::IltConfig;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn steady_state_training_and_inference_allocate_nothing() {
+    ganopc_nn::pool::set_max_threads(Some(1));
+
+    let dataset = OpcDataset::synthesize(32, 4, IltConfig::fast(), 42).unwrap();
+    let (targets, refs) = dataset.batch(&[0, 1, 2, 3]);
+
+    // Training steady state: two warmup steps size every buffer (the second
+    // catches anything lazily grown on first reuse), then three measured
+    // steps must not touch the allocator.
+    let generator = Generator::new(32, 4, 1);
+    let discriminator = Discriminator::new(32, 4, 2);
+    let mut trainer = GanTrainer::new(generator, discriminator, TrainConfig::fast());
+    for _ in 0..2 {
+        trainer.train_step(&targets, &refs);
+    }
+    let before = allocations();
+    for _ in 0..3 {
+        trainer.train_step(&targets, &refs);
+    }
+    let delta = allocations() - before;
+    assert_eq!(delta, 0, "train_step allocated {delta} times after warmup");
+
+    // Batched inference fast path.
+    let mut g = Generator::new(32, 4, 3);
+    let mut out = ganopc_nn::Tensor::zeros(&[1]);
+    for _ in 0..2 {
+        g.infer_into(&targets, &mut out);
+    }
+    let before = allocations();
+    for _ in 0..3 {
+        g.infer_into(&targets, &mut out);
+    }
+    let delta = allocations() - before;
+    assert_eq!(delta, 0, "infer_into allocated {delta} times after warmup");
+
+    ganopc_nn::pool::set_max_threads(None);
+}

@@ -4,17 +4,17 @@
 //! loops, per-sample litho gradients) reduce in fixed index order, so a
 //! training run must produce bit-identical statistics whether the pool uses
 //! one worker or many. This is the single test in this binary because it
-//! toggles the process-wide `GANOPC_THREADS` override.
+//! toggles the process-wide thread-count override.
 
 use ganopc_core::pretrain::pretrain_generator;
 use ganopc_core::{Discriminator, GanTrainer, Generator, OpcDataset, PretrainConfig, TrainConfig};
 use ganopc_ilt::IltConfig;
 use ganopc_litho::{LithoModel, OpticalConfig};
 
-fn with_threads<R>(threads: &str, f: impl FnOnce() -> R) -> R {
-    std::env::set_var("GANOPC_THREADS", threads);
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    ganopc_nn::pool::set_max_threads(Some(threads));
     let out = f();
-    std::env::remove_var("GANOPC_THREADS");
+    ganopc_nn::pool::set_max_threads(None);
     out
 }
 
@@ -30,8 +30,8 @@ fn training_stats_are_identical_for_any_thread_count() {
         let mut trainer = GanTrainer::new(generator, discriminator, TrainConfig::fast());
         trainer.train(&dataset)
     };
-    let serial = with_threads("1", train);
-    let parallel = with_threads("4", train);
+    let serial = with_threads(1, train);
+    let parallel = with_threads(4, train);
     assert_eq!(serial, parallel, "GanTrainer::train diverged across thread counts");
 
     // ILT-guided pre-training (Algorithm 2) exercises the litho-model pool
@@ -46,8 +46,8 @@ fn training_stats_are_identical_for_any_thread_count() {
         let mut generator = Generator::new(32, 4, 7);
         pretrain_generator(&mut generator, &litho, &dataset, &PretrainConfig::fast()).unwrap()
     };
-    let serial = with_threads("1", pretrain);
-    let parallel = with_threads("4", pretrain);
+    let serial = with_threads(1, pretrain);
+    let parallel = with_threads(4, pretrain);
     assert_eq!(serial, parallel, "pretrain_generator diverged across thread counts");
 
     // The spectral-engine hot paths directly: aerial image and the Eq. (14)
@@ -77,9 +77,29 @@ fn training_stats_are_identical_for_any_thread_count() {
         let grad = litho128.gradient_at_dose(&mask, &target, 1.0).unwrap();
         (aerial, grad.error, grad.grad)
     };
-    let (a1, e1, g1) = with_threads("1", litho_eval);
-    let (a4, e4, g4) = with_threads("4", litho_eval);
+    let (a1, e1, g1) = with_threads(1, litho_eval);
+    let (a4, e4, g4) = with_threads(4, litho_eval);
     assert_eq!(e1.to_bits(), e4.to_bits(), "litho error diverged across thread counts");
     assert_eq!(a1.as_slice(), a4.as_slice(), "aerial image diverged across thread counts");
     assert_eq!(g1.as_slice(), g4.as_slice(), "Eq. (14) gradient diverged across thread counts");
+
+    // The batched no-grad fast path (`Generator::infer_into`) drives the
+    // fused forward kernels through persistent buffers; it must be
+    // bit-identical across thread counts, including on the second call that
+    // reuses warm buffers.
+    let (targets, _) = dataset.batch(&[0, 1]);
+    let infer = || {
+        let mut generator = Generator::new(32, 4, 11);
+        let mut out = ganopc_nn::Tensor::zeros(&[1]);
+        generator.infer_into(&targets, &mut out);
+        generator.infer_into(&targets, &mut out);
+        out
+    };
+    let serial = with_threads(1, infer);
+    let parallel = with_threads(4, infer);
+    assert_eq!(
+        serial.as_slice(),
+        parallel.as_slice(),
+        "Generator::infer_into diverged across thread counts"
+    );
 }

@@ -99,8 +99,8 @@ fn dropping_optimizer_state_would_diverge() {
     let _ = first.train_for(&ds, 4);
     let mut ck = first.to_checkpoint();
     // Sabotage: wipe the velocity sections (empty = "never stepped").
-    ck.put_tensors("opt_g/velocity", Vec::new());
-    ck.put_tensors("opt_d/velocity", Vec::new());
+    ck.put_tensors("opt_g/velocity", &[]);
+    ck.put_tensors("opt_d/velocity", &[]);
     let mut resumed = GanTrainer::from_checkpoint(ck).unwrap();
     let tail = resumed.train(&ds);
     assert_ne!(
@@ -227,7 +227,7 @@ fn wrong_kind_and_hostile_state_rejected() {
     ));
     // Velocity tensors that do not match the network layout.
     assert!(matches!(
-        corrupt(&|ck| ck.put_tensors("opt_g/velocity", vec![ganopc_nn::Tensor::zeros(&[3, 3])])),
+        corrupt(&|ck| ck.put_tensors("opt_g/velocity", &[ganopc_nn::Tensor::zeros(&[3, 3])])),
         Err(GanOpcError::Config(_))
     ));
     std::fs::remove_file(&path).unwrap();

@@ -49,7 +49,7 @@
 //! use ganopc_nn::{checkpoint::Checkpoint, Tensor};
 //! # fn main() -> Result<(), ganopc_nn::checkpoint::CheckpointError> {
 //! let mut ck = Checkpoint::new();
-//! ck.put_tensors("g/params", vec![Tensor::filled(&[2, 3], 0.5)]);
+//! ck.put_tensors("g/params", &[Tensor::filled(&[2, 3], 0.5)]);
 //! ck.put_u64("progress/step", 41);
 //! ck.put_f64("best/litho_error", 1.25);
 //! let bytes = ck.to_bytes();
@@ -407,12 +407,14 @@ impl Checkpoint {
     }
 
     /// Stores a tensor list under `name` (replacing any previous payload).
+    /// Takes the tensors by reference so callers can write sections straight
+    /// from live parameter/optimizer state without cloning first.
     ///
     /// # Panics
     ///
     /// Panics when `name` is empty or longer than 255 bytes.
-    pub fn put_tensors(&mut self, name: &str, tensors: Vec<Tensor>) {
-        self.put(name, SectionData::Tensors(tensors));
+    pub fn put_tensors(&mut self, name: &str, tensors: &[Tensor]) {
+        self.put(name, SectionData::Tensors(tensors.to_vec()));
     }
 
     /// Stores an unsigned scalar under `name`.
@@ -591,7 +593,7 @@ impl Checkpoint {
         let version = cur.u32()?;
         if version == VERSION_V1 {
             let mut ck = Checkpoint::new();
-            ck.put_tensors("params", from_bytes(bytes)?);
+            ck.put_tensors("params", &from_bytes(bytes)?);
             return Ok(ck);
         }
         if version != VERSION_V2 {
@@ -714,8 +716,8 @@ mod tests {
 
     fn container() -> Checkpoint {
         let mut ck = Checkpoint::new();
-        ck.put_tensors("g/params", snapshot());
-        ck.put_tensors("opt/velocity", vec![Tensor::filled(&[3], 0.125)]);
+        ck.put_tensors("g/params", &snapshot());
+        ck.put_tensors("opt/velocity", &[Tensor::filled(&[3], 0.125)]);
         ck.put_u64("progress/step", 41);
         ck.put_f64("best/litho_error", -1.5e-3);
         ck.put_bytes("meta/kind", b"unit-test".to_vec());

@@ -1,13 +1,16 @@
-//! Cache-blocked `f32` matrix multiplication tuned for wide fused saxpy.
+//! Cache-blocked `f32` matrix multiplication with a register-resident
+//! micro-tile.
 //!
 //! One blocked GEMM core serves the three layouts the layers need
 //! (`C = A·B`, `C = Aᵀ·B`, `C = A·Bᵀ`). The kernel walks `KC`×`NC` tiles of
-//! `B` (sized to stay cache-resident) and, for each depth step, streams a
-//! row of the tile into a pair of `C` rows with `f32::mul_add` — two long
-//! independent fused-multiply-add streams that LLVM turns into packed FMA
-//! vector code. This row-pair saxpy shape beats a classic packed register
-//! tile here: the wide contiguous inner loop keeps every vector lane busy
-//! without spilling accumulators.
+//! `B` (sized to stay cache-resident) and computes `C` in `MR`×`NR` register
+//! tiles: the accumulators are loaded from `C` once, advanced through the
+//! whole depth block with `f32::mul_add`, and stored once. Keeping the tile
+//! in registers removes the per-depth-step load/store round-trip through
+//! `C` that a plain saxpy formulation pays, which is what lets the FMA
+//! units rather than the L1 store port set the throughput ceiling. Each
+//! `C[i][j]` still accumulates along a single `k`-ascending chain, so the
+//! result is bit-identical to the scalar/saxpy formulations.
 //!
 //! `A·Bᵀ` has no contiguous `B` rows to stream, so it either packs a
 //! transposed `B` tile first (tall products, where the pack cost amortizes
@@ -30,9 +33,10 @@
 use crate::pool;
 use std::cell::RefCell;
 
-/// Kernel row height: `C` rows advanced together per depth step.
-pub const MR: usize = 2;
-/// Column alignment quantum for parallel stripes (one cache line of `f32`).
+/// Micro-tile height: `C` rows held in registers together.
+pub const MR: usize = 4;
+/// Micro-tile width in `f32` lanes (two AVX2 registers; also the column
+/// alignment quantum for parallel stripes — one cache line of `f32`).
 pub const NR: usize = 16;
 /// Depth-block size of a `B` tile.
 const KC: usize = 256;
@@ -216,38 +220,53 @@ fn gemm_block(
                 Layout::NN | Layout::TN => (b, pc * n + jc, n),
                 Layout::NT => (pack.as_slice(), 0, nc),
             };
+            // Register-tiled sweep over the C sub-block. The full-tile path
+            // keeps an MR×NR accumulator array in registers for the whole
+            // depth block; remainder fringes fall back to a per-row scalar
+            // loop with the identical per-element accumulation chain.
+            let a_at = |row: usize, p: usize| match layout {
+                Layout::NN | Layout::NT => a[row * k + pc + p],
+                Layout::TN => a[(pc + p) * m + row],
+            };
             let mut i = i_lo;
-            while i + MR <= i_hi {
-                let base = (i - i_lo) * ldc + (jc - j_lo);
-                let (row0, row1) = out[base..].split_at_mut(ldc);
-                let c0 = &mut row0[..nc];
-                let c1 = &mut row1[..nc];
-                for p in 0..kc {
-                    let (av0, av1) = match layout {
-                        Layout::NN | Layout::NT => (a[i * k + pc + p], a[(i + 1) * k + pc + p]),
-                        Layout::TN => (a[(pc + p) * m + i], a[(pc + p) * m + i + 1]),
-                    };
-                    let b_row = &bt[b_off + p * b_stride..][..nc];
-                    for ((cv0, cv1), &bv) in c0.iter_mut().zip(c1.iter_mut()).zip(b_row) {
-                        *cv0 = av0.mul_add(bv, *cv0);
-                        *cv1 = av1.mul_add(bv, *cv1);
+            while i < i_hi {
+                let mr = MR.min(i_hi - i);
+                let mut j = 0;
+                while j < nc {
+                    let nr = NR.min(nc - j);
+                    let base = (i - i_lo) * ldc + (jc - j_lo) + j;
+                    if mr == MR && nr == NR {
+                        let mut acc = [[0.0f32; NR]; MR];
+                        for (r, row) in acc.iter_mut().enumerate() {
+                            row.copy_from_slice(&out[base + r * ldc..][..NR]);
+                        }
+                        for p in 0..kc {
+                            let b_row = &bt[b_off + p * b_stride + j..][..NR];
+                            for (r, row) in acc.iter_mut().enumerate() {
+                                let av = a_at(i + r, p);
+                                for (cv, &bv) in row.iter_mut().zip(b_row) {
+                                    *cv = av.mul_add(bv, *cv);
+                                }
+                            }
+                        }
+                        for (r, row) in acc.iter().enumerate() {
+                            out[base + r * ldc..][..NR].copy_from_slice(row);
+                        }
+                    } else {
+                        for r in 0..mr {
+                            let orow = &mut out[base + r * ldc..][..nr];
+                            for p in 0..kc {
+                                let av = a_at(i + r, p);
+                                let b_row = &bt[b_off + p * b_stride + j..][..nr];
+                                for (cv, &bv) in orow.iter_mut().zip(b_row) {
+                                    *cv = av.mul_add(bv, *cv);
+                                }
+                            }
+                        }
                     }
+                    j += nr;
                 }
-                i += MR;
-            }
-            if i < i_hi {
-                let base = (i - i_lo) * ldc + (jc - j_lo);
-                let c0 = &mut out[base..base + nc];
-                for p in 0..kc {
-                    let av0 = match layout {
-                        Layout::NN | Layout::NT => a[i * k + pc + p],
-                        Layout::TN => a[(pc + p) * m + i],
-                    };
-                    let b_row = &bt[b_off + p * b_stride..][..nc];
-                    for (cv0, &bv) in c0.iter_mut().zip(b_row) {
-                        *cv0 = av0.mul_add(bv, *cv0);
-                    }
-                }
+                i += mr;
             }
         }
     }

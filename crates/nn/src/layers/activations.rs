@@ -1,11 +1,26 @@
 //! Element-wise activations.
+//!
+//! Every activation here caches its **output** in a persistent buffer and
+//! derives the backward pass from it: sigmoid/tanh have closed-form
+//! derivatives in the output, and the (leaky) ReLU derivative only needs
+//! the sign of the input, which the output preserves. Caching the output
+//! is what makes the in-place fast path possible — the input no longer
+//! exists once the buffer has been transformed.
 
 use super::{Layer, Param};
 use crate::Tensor;
 
+/// Copies the freshly computed activation output into the persistent cache,
+/// reusing its capacity after the first call.
+fn cache_output(cache: &mut Option<Tensor>, out: &Tensor) {
+    match cache {
+        Some(c) => c.copy_from(out),
+        None => *cache = Some(out.clone()),
+    }
+}
+
 macro_rules! activation_layer {
-    ($(#[$doc:meta])* $name:ident, cache_output: $cache_out:expr,
-     fwd: $fwd:expr, bwd: $bwd:expr) => {
+    ($(#[$doc:meta])* $name:ident, fwd: $fwd:expr, bwd_from_out: $bwd:expr) => {
         $(#[$doc])*
         #[derive(Debug, Default)]
         pub struct $name {
@@ -20,24 +35,61 @@ macro_rules! activation_layer {
         }
 
         impl Layer for $name {
-            fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-                let fwd: fn(f32) -> f32 = $fwd;
-                let out = input.map(fwd);
-                self.cache = Some(if $cache_out { out.clone() } else { input.clone() });
+            fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+                let mut out = Tensor::zeros(input.shape());
+                self.forward_into(input, &mut out, train);
                 out
             }
 
             fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+                let mut grad_in = Tensor::zeros(grad_out.shape());
+                self.backward_into(grad_out, Some(&mut grad_in));
+                grad_in
+            }
+
+            fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, _train: bool) {
+                let fwd: fn(f32) -> f32 = $fwd;
+                out.resize(input.shape());
+                for (d, &s) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+                    *d = fwd(s);
+                }
+                cache_output(&mut self.cache, out);
+            }
+
+            fn backward_into(&mut self, grad_out: &Tensor, grad_in: Option<&mut Tensor>) {
                 let cached = self.cache.as_ref().expect("backward before forward");
                 assert_eq!(cached.shape(), grad_out.shape(), "activation grad shape mismatch");
                 let bwd: fn(f32) -> f32 = $bwd;
-                let data = cached
-                    .as_slice()
-                    .iter()
-                    .zip(grad_out.as_slice())
-                    .map(|(&c, &g)| g * bwd(c))
-                    .collect();
-                Tensor::from_vec(grad_out.shape(), data)
+                if let Some(gi) = grad_in {
+                    gi.resize(grad_out.shape());
+                    for ((d, &c), &g) in gi
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(cached.as_slice())
+                        .zip(grad_out.as_slice())
+                    {
+                        *d = g * bwd(c);
+                    }
+                }
+            }
+
+            fn forward_inplace(&mut self, x: &mut Tensor, _train: bool) -> bool {
+                let fwd: fn(f32) -> f32 = $fwd;
+                for v in x.as_mut_slice() {
+                    *v = fwd(*v);
+                }
+                cache_output(&mut self.cache, x);
+                true
+            }
+
+            fn backward_inplace(&mut self, g: &mut Tensor) -> bool {
+                let cached = self.cache.as_ref().expect("backward before forward");
+                assert_eq!(cached.shape(), g.shape(), "activation grad shape mismatch");
+                let bwd: fn(f32) -> f32 = $bwd;
+                for (gv, &c) in g.as_mut_slice().iter_mut().zip(cached.as_slice()) {
+                    *gv *= bwd(c);
+                }
+                true
             }
 
             fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
@@ -52,26 +104,25 @@ macro_rules! activation_layer {
 activation_layer!(
     /// Rectified linear unit `max(0, x)`.
     Relu,
-    cache_output: false,
     fwd: |x| if x > 0.0 { x } else { 0.0 },
-    bwd: |x| if x > 0.0 { 1.0 } else { 0.0 }
+    // The output preserves the input's positivity, so the derivative can be
+    // read off the cached output: y > 0 ⟺ x > 0.
+    bwd_from_out: |y| if y > 0.0 { 1.0 } else { 0.0 }
 );
 
 activation_layer!(
     /// Logistic sigmoid `1/(1+e^{-x})` — output nonlinearity of both the
     /// generator (mask pixels) and the discriminator (probability).
     Sigmoid,
-    cache_output: true,
     fwd: |x| 1.0 / (1.0 + (-x).exp()),
-    bwd: |y| y * (1.0 - y)
+    bwd_from_out: |y| y * (1.0 - y)
 );
 
 activation_layer!(
     /// Hyperbolic tangent.
     Tanh,
-    cache_output: true,
     fwd: |x| x.tanh(),
-    bwd: |y| 1.0 - y * y
+    bwd_from_out: |y| 1.0 - y * y
 );
 
 /// Leaky ReLU with configurable negative slope (GAN discriminators
@@ -101,23 +152,66 @@ impl Default for LeakyRelu {
 }
 
 impl Layer for LeakyRelu {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        let s = self.slope;
-        let out = input.map(|x| if x > 0.0 { x } else { s * x });
-        self.cache = Some(input.clone());
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::zeros(input.shape());
+        self.forward_into(input, &mut out, train);
         out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self.cache.as_ref().expect("backward before forward");
+        let mut grad_in = Tensor::zeros(grad_out.shape());
+        self.backward_into(grad_out, Some(&mut grad_in));
+        grad_in
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, _train: bool) {
         let s = self.slope;
-        let data = input
-            .as_slice()
-            .iter()
-            .zip(grad_out.as_slice())
-            .map(|(&x, &g)| if x > 0.0 { g } else { s * g })
-            .collect();
-        Tensor::from_vec(grad_out.shape(), data)
+        out.resize(input.shape());
+        for (d, &x) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+            *d = if x > 0.0 { x } else { s * x };
+        }
+        cache_output(&mut self.cache, out);
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: Option<&mut Tensor>) {
+        // Scaling by a slope in [0, 1) preserves the sign of negative
+        // inputs (and maps them to ±0 for slope 0), so `y > 0 ⟺ x > 0`
+        // and the cached output decides the branch exactly as the input
+        // would have.
+        let cached = self.cache.as_ref().expect("backward before forward");
+        assert_eq!(cached.shape(), grad_out.shape(), "activation grad shape mismatch");
+        let s = self.slope;
+        if let Some(gi) = grad_in {
+            gi.resize(grad_out.shape());
+            for ((d, &y), &g) in
+                gi.as_mut_slice().iter_mut().zip(cached.as_slice()).zip(grad_out.as_slice())
+            {
+                *d = if y > 0.0 { g } else { s * g };
+            }
+        }
+    }
+
+    fn forward_inplace(&mut self, x: &mut Tensor, _train: bool) -> bool {
+        let s = self.slope;
+        for v in x.as_mut_slice() {
+            if *v <= 0.0 {
+                *v *= s;
+            }
+        }
+        cache_output(&mut self.cache, x);
+        true
+    }
+
+    fn backward_inplace(&mut self, g: &mut Tensor) -> bool {
+        let cached = self.cache.as_ref().expect("backward before forward");
+        assert_eq!(cached.shape(), g.shape(), "activation grad shape mismatch");
+        let s = self.slope;
+        for (gv, &y) in g.as_mut_slice().iter_mut().zip(cached.as_slice()) {
+            if y <= 0.0 {
+                *gv *= s;
+            }
+        }
+        true
     }
 
     fn describe(&self) -> String {
@@ -169,6 +263,22 @@ mod tests {
         gradcheck::check_input_gradient(&mut Sigmoid::new(), &x, 0.02);
         gradcheck::check_input_gradient(&mut Tanh::new(), &x, 0.02);
         gradcheck::check_input_gradient(&mut LeakyRelu::new(0.2), &x, 0.05);
+    }
+
+    #[test]
+    fn inplace_paths_match_allocating_paths() {
+        let x = init::uniform(&[2, 3, 4, 4], -1.0, 1.0, 21);
+        let g = init::uniform(&[2, 3, 4, 4], -1.0, 1.0, 22);
+        let mut a = LeakyRelu::new(0.2);
+        let mut b = LeakyRelu::new(0.2);
+        let y = a.forward(&x, true);
+        let gi = a.backward(&g);
+        let mut buf = x.clone();
+        assert!(b.forward_inplace(&mut buf, true));
+        assert_eq!(buf, y);
+        let mut gbuf = g.clone();
+        assert!(b.backward_inplace(&mut gbuf));
+        assert_eq!(gbuf, gi);
     }
 
     #[test]

@@ -61,13 +61,31 @@ impl BatchNorm2d {
 
 impl Layer for BatchNorm2d {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::zeros(&[1]);
+        self.forward_into(input, &mut out, train);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad_in = Tensor::zeros(&[1]);
+        self.backward_into(grad_out, Some(&mut grad_in));
+        grad_in
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
         let (n, c, h, w) = input.dims4();
         assert_eq!(c, self.channels, "BatchNorm2d expects {} channels, got {c}", self.channels);
         let plane = h * w;
         let count = (n * plane) as f32;
-        let mut out = Tensor::zeros(&[n, c, h, w]);
-        let mut inv_stds = vec![0.0f32; c];
-        let mut xhat = Tensor::zeros(&[n, c, h, w]);
+        out.resize(&[n, c, h, w]);
+        // Reuse the persistent normalized-input / 1/σ cache across steps.
+        if self.cache.is_none() {
+            self.cache = Some((Tensor::zeros(&[1]), Vec::new()));
+        }
+        let (xhat, inv_stds) = self.cache.as_mut().expect("cache initialized above");
+        xhat.resize(&[n, c, h, w]);
+        inv_stds.clear();
+        inv_stds.resize(c, 0.0);
 
         #[allow(clippy::needless_range_loop)]
         for ci in 0..c {
@@ -108,16 +126,16 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
-        self.cache = Some((xhat, inv_stds));
-        out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_into(&mut self, grad_out: &Tensor, mut grad_in: Option<&mut Tensor>) {
         let (xhat, inv_stds) = self.cache.as_ref().expect("backward before forward");
         let (n, c, h, w) = grad_out.dims4();
         let plane = h * w;
         let count = (n * plane) as f32;
-        let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+        if let Some(gi) = grad_in.as_deref_mut() {
+            gi.resize(&[n, c, h, w]);
+        }
         #[allow(clippy::needless_range_loop)]
         for ci in 0..c {
             let g = self.gamma.value.as_slice()[ci];
@@ -133,18 +151,19 @@ impl Layer for BatchNorm2d {
             }
             self.beta.grad.as_mut_slice()[ci] += sum_g;
             self.gamma.grad.as_mut_slice()[ci] += sum_gx;
-            // Standard batch-norm input gradient (batch statistics path).
+            // Standard batch-norm input gradient (batch statistics path) —
+            // skipped entirely on the discard path.
+            let Some(gi) = grad_in.as_deref_mut() else { continue };
             let k = g * inv_stds[ci];
             for ni in 0..n {
                 let base = (ni * c + ci) * plane;
                 for i in base..base + plane {
                     let go = grad_out.as_slice()[i];
                     let xh = xhat.as_slice()[i];
-                    grad_in.as_mut_slice()[i] = k * (go - sum_g / count - xh * sum_gx / count);
+                    gi.as_mut_slice()[i] = k * (go - sum_g / count - xh * sum_gx / count);
                 }
             }
         }
-        grad_in
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {

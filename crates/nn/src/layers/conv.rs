@@ -2,18 +2,16 @@
 //!
 //! Both layers lower to GEMM via im2col/col2im per batch sample; the
 //! per-sample work is independent, so forward and backward fan the samples
-//! out over [`crate::pool`]. Weight and bias gradients are reduced from the
-//! per-sample partials sequentially in sample order, which keeps training
-//! bit-identical across thread counts. Column matrices live in per-sample
-//! scratch vectors owned by the layer and are reused across steps.
+//! out over [`crate::pool`]. Weight and bias gradients land in per-sample
+//! scratch vectors owned by the layer and are reduced sequentially in
+//! sample order, which keeps training bit-identical across thread counts.
+//! Column matrices and gradient partials all live in layer-owned scratch
+//! reused across steps, so the `_into` entry points perform no steady-state
+//! heap allocation.
 
 use super::{col2im_into, conv_out_size, deconv_out_size, im2col_into, Layer, Param};
-use crate::gemm::{matmul_into, matmul_nt, matmul_tn_into};
+use crate::gemm::{matmul_into, matmul_nt_into, matmul_tn_into};
 use crate::{init, pool, Tensor};
-
-/// One pool job per batch sample: `(sample index, (column scratch, output
-/// slice))` — the slices are disjoint `chunks_mut` of the output tensor.
-type SampleJobs<'a> = Vec<(usize, (&'a mut Vec<f32>, &'a mut [f32]))>;
 
 /// Grows `bufs` to one scratch vector per batch sample, preserving already
 /// allocated capacity.
@@ -21,6 +19,13 @@ fn per_sample_scratch(bufs: &mut Vec<Vec<f32>>, n: usize) {
     if bufs.len() < n {
         bufs.resize_with(n, Vec::new);
     }
+}
+
+/// Sizes a scratch vector to exactly `len` elements, reusing its capacity.
+/// Contents are unspecified — every caller overwrites the buffer (the GEMM
+/// `_into` kernels zero-fill their destination themselves).
+fn fit(buf: &mut Vec<f32>, len: usize) {
+    buf.resize(len, 0.0);
 }
 
 /// 2-D convolution over `[N, C, H, W]` tensors.
@@ -48,6 +53,10 @@ pub struct Conv2d {
     cache_cols: Vec<Vec<f32>>,
     /// Per-batch-item scratch for the backward column gradients.
     scratch_dcols: Vec<Vec<f32>>,
+    /// Per-batch-item scratch for the weight-gradient partials.
+    scratch_dw: Vec<Vec<f32>>,
+    /// Per-batch-item scratch for the bias-gradient partials.
+    scratch_db: Vec<Vec<f32>>,
     cache_in_shape: Option<(usize, usize, usize, usize)>,
 }
 
@@ -76,6 +85,8 @@ impl Conv2d {
             bias: Param::new(Tensor::zeros(&[out_ch])),
             cache_cols: Vec::new(),
             scratch_dcols: Vec::new(),
+            scratch_dw: Vec::new(),
+            scratch_db: Vec::new(),
             cache_in_shape: None,
         }
     }
@@ -89,10 +100,35 @@ impl Conv2d {
             conv_out_size(w, self.k, self.stride, self.pad),
         ]
     }
+
+    /// Adds each per-sample weight/bias partial into the parameter
+    /// gradients, in sample order (thread-count-independent bits).
+    fn reduce_partials(&mut self, n: usize) {
+        for (dw, db) in self.scratch_dw.iter().take(n).zip(self.scratch_db.iter().take(n)) {
+            for (g, d) in self.weight.grad.as_mut_slice().iter_mut().zip(dw) {
+                *g += d;
+            }
+            for (g, d) in self.bias.grad.as_mut_slice().iter_mut().zip(db) {
+                *g += d;
+            }
+        }
+    }
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::zeros(&[1]);
+        self.forward_into(input, &mut out, train);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad_in = Tensor::zeros(&[1]);
+        self.backward_into(grad_out, Some(&mut grad_in));
+        grad_in
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, _train: bool) {
         let (n, c, h, w) = input.dims4();
         assert_eq!(c, self.in_ch, "Conv2d expects {} input channels, got {c}", self.in_ch);
         let oh = conv_out_size(h, self.k, self.stride, self.pad);
@@ -100,18 +136,18 @@ impl Layer for Conv2d {
         let ckk = self.in_ch * self.k * self.k;
         let plane = oh * ow;
         let (k, stride, pad, out_ch) = (self.k, self.stride, self.pad, self.out_ch);
-        let mut out = Tensor::zeros(&[n, out_ch, oh, ow]);
+        out.resize(&[n, out_ch, oh, ow]);
         per_sample_scratch(&mut self.cache_cols, n);
         let weight = self.weight.value.as_slice();
         let bias = self.bias.value.as_slice();
         let input_data = input.as_slice();
-        let jobs: SampleJobs = self
+        let jobs = self
             .cache_cols
             .iter_mut()
             .zip(out.as_mut_slice().chunks_mut(out_ch * plane))
             .enumerate()
-            .collect();
-        pool::run(jobs, |(ni, (cols, dst))| {
+            .take(n);
+        pool::for_each(jobs, |(ni, (cols, dst))| {
             let img = &input_data[ni * c * h * w..][..c * h * w];
             im2col_into(cols, img, c, h, w, k, stride, pad);
             matmul_into(dst, weight, cols, out_ch, ckk, plane);
@@ -122,53 +158,60 @@ impl Layer for Conv2d {
             }
         });
         self.cache_in_shape = Some((n, c, h, w));
-        out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: Option<&mut Tensor>) {
         let (n, c, h, w) = self.cache_in_shape.expect("backward before forward");
         let (gn, gc, oh, ow) = grad_out.dims4();
         assert_eq!((gn, gc), (n, self.out_ch), "grad_out batch/channel mismatch");
         let ckk = self.in_ch * self.k * self.k;
         let plane = oh * ow;
         let (k, stride, pad, out_ch) = (self.k, self.stride, self.pad, self.out_ch);
-        let mut grad_in = Tensor::zeros(&[n, c, h, w]);
-        per_sample_scratch(&mut self.scratch_dcols, n);
+        per_sample_scratch(&mut self.scratch_dw, n);
+        per_sample_scratch(&mut self.scratch_db, n);
         let weight = self.weight.value.as_slice();
         let grad_out_data = grad_out.as_slice();
         let cache_cols = &self.cache_cols;
-        let jobs: SampleJobs = self
-            .scratch_dcols
-            .iter_mut()
-            .zip(grad_in.as_mut_slice().chunks_mut(c * h * w))
-            .enumerate()
-            .collect();
-        let partials = pool::run(jobs, |(ni, (dcols, gi))| {
+        // dW_ni = gO · colsᵀ ; cols is [ckk × plane], gO is [oc × plane];
+        // db_ni = Σ_spatial gO. Partials land in per-sample scratch.
+        let sample_params = |ni: usize, dw: &mut Vec<f32>, db: &mut Vec<f32>| {
             let go = &grad_out_data[ni * out_ch * plane..][..out_ch * plane];
             let cols = &cache_cols[ni];
-            // dW_ni = gO · colsᵀ ; cols is [ckk × plane], gO is [oc × plane].
-            let dw = matmul_nt(go, cols, out_ch, plane, ckk);
-            // db_ni = Σ_spatial gO.
-            let db: Vec<f32> = go.chunks_exact(plane).map(|row| row.iter().sum()).collect();
-            // d cols = Wᵀ · gO; W stored [oc × ckk]; fold back onto the
-            // input grid directly in this sample's grad_in slice.
-            dcols.clear();
-            dcols.resize(ckk * plane, 0.0);
-            matmul_tn_into(dcols, weight, go, ckk, out_ch, plane);
-            col2im_into(gi, dcols, c, h, w, k, stride, pad);
-            (dw, db)
-        });
-        // Reduce weight/bias gradients in sample order — the summation
-        // order (and hence the result bits) is thread-count independent.
-        for (dw, db) in &partials {
-            for (g, d) in self.weight.grad.as_mut_slice().iter_mut().zip(dw) {
-                *g += d;
+            fit(dw, out_ch * ckk);
+            matmul_nt_into(dw, go, cols, out_ch, plane, ckk);
+            db.clear();
+            db.extend(go.chunks_exact(plane).map(|row| row.iter().sum::<f32>()));
+        };
+        match grad_in {
+            Some(gi_t) => {
+                gi_t.resize(&[n, c, h, w]);
+                per_sample_scratch(&mut self.scratch_dcols, n);
+                let jobs = self
+                    .scratch_dcols
+                    .iter_mut()
+                    .zip(self.scratch_dw.iter_mut())
+                    .zip(self.scratch_db.iter_mut())
+                    .zip(gi_t.as_mut_slice().chunks_mut(c * h * w))
+                    .enumerate()
+                    .take(n);
+                pool::for_each(jobs, |(ni, (((dcols, dw), db), gi))| {
+                    sample_params(ni, dw, db);
+                    // d cols = Wᵀ · gO; W stored [oc × ckk]; fold back onto
+                    // the input grid directly in this sample's grad_in slice.
+                    let go = &grad_out_data[ni * out_ch * plane..][..out_ch * plane];
+                    fit(dcols, ckk * plane);
+                    matmul_tn_into(dcols, weight, go, ckk, out_ch, plane);
+                    col2im_into(gi, dcols, c, h, w, k, stride, pad);
+                });
             }
-            for (g, d) in self.bias.grad.as_mut_slice().iter_mut().zip(db) {
-                *g += d;
+            // Discard path (first layer): parameter gradients only.
+            None => {
+                let jobs =
+                    self.scratch_dw.iter_mut().zip(self.scratch_db.iter_mut()).enumerate().take(n);
+                pool::for_each(jobs, |(ni, (dw, db))| sample_params(ni, dw, db));
             }
         }
-        grad_in
+        self.reduce_partials(n);
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -204,11 +247,16 @@ pub struct ConvTranspose2d {
     pad: usize,
     weight: Param,
     bias: Param,
+    /// Persistent copy of the last forward input (reused across steps).
     cache_input: Option<Tensor>,
     /// Per-batch-item scratch for the forward column matrices.
     scratch_cols: Vec<Vec<f32>>,
     /// Per-batch-item scratch for the backward column gradients.
     scratch_gcols: Vec<Vec<f32>>,
+    /// Per-batch-item scratch for the weight-gradient partials.
+    scratch_dw: Vec<Vec<f32>>,
+    /// Per-batch-item scratch for the bias-gradient partials.
+    scratch_db: Vec<Vec<f32>>,
 }
 
 impl ConvTranspose2d {
@@ -237,6 +285,8 @@ impl ConvTranspose2d {
             cache_input: None,
             scratch_cols: Vec::new(),
             scratch_gcols: Vec::new(),
+            scratch_dw: Vec::new(),
+            scratch_db: Vec::new(),
         }
     }
 
@@ -249,10 +299,35 @@ impl ConvTranspose2d {
             deconv_out_size(w, self.k, self.stride, self.pad),
         ]
     }
+
+    /// Adds each per-sample weight/bias partial into the parameter
+    /// gradients, in sample order (thread-count-independent bits).
+    fn reduce_partials(&mut self, n: usize) {
+        for (dw, db) in self.scratch_dw.iter().take(n).zip(self.scratch_db.iter().take(n)) {
+            for (g, d) in self.weight.grad.as_mut_slice().iter_mut().zip(dw) {
+                *g += d;
+            }
+            for (g, d) in self.bias.grad.as_mut_slice().iter_mut().zip(db) {
+                *g += d;
+            }
+        }
+    }
 }
 
 impl Layer for ConvTranspose2d {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::zeros(&[1]);
+        self.forward_into(input, &mut out, train);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad_in = Tensor::zeros(&[1]);
+        self.backward_into(grad_out, Some(&mut grad_in));
+        grad_in
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, _train: bool) {
         let (n, c, ih, iw) = input.dims4();
         assert_eq!(c, self.in_ch, "ConvTranspose2d expects {} channels, got {c}", self.in_ch);
         let oh = deconv_out_size(ih, self.k, self.stride, self.pad);
@@ -262,22 +337,21 @@ impl Layer for ConvTranspose2d {
         let out_plane = oh * ow;
         let (k, stride, pad, in_ch, out_ch) =
             (self.k, self.stride, self.pad, self.in_ch, self.out_ch);
-        let mut out = Tensor::zeros(&[n, out_ch, oh, ow]);
+        out.resize(&[n, out_ch, oh, ow]);
         per_sample_scratch(&mut self.scratch_cols, n);
         let weight = self.weight.value.as_slice();
         let bias = self.bias.value.as_slice();
         let input_data = input.as_slice();
-        let jobs: SampleJobs = self
+        let jobs = self
             .scratch_cols
             .iter_mut()
             .zip(out.as_mut_slice().chunks_mut(out_ch * out_plane))
             .enumerate()
-            .collect();
-        pool::run(jobs, |(ni, (cols, dst))| {
+            .take(n);
+        pool::for_each(jobs, |(ni, (cols, dst))| {
             let x = &input_data[ni * c * in_plane..][..c * in_plane];
             // cols [okk × in_plane] = Wᵀ · x, with W stored [in_ch × okk].
-            cols.clear();
-            cols.resize(okk * in_plane, 0.0);
+            fit(cols, okk * in_plane);
             matmul_tn_into(cols, weight, x, okk, in_ch, in_plane);
             // Scatter back onto the (larger) output grid: transposed conv is
             // the adjoint of a conv from [oh×ow] down to [ih×iw].
@@ -288,11 +362,13 @@ impl Layer for ConvTranspose2d {
                 }
             }
         });
-        self.cache_input = Some(input.clone());
-        out
+        match &mut self.cache_input {
+            Some(t) => t.copy_from(input),
+            None => self.cache_input = Some(input.clone()),
+        }
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: Option<&mut Tensor>) {
         let input = self.cache_input.as_ref().expect("backward before forward");
         let (n, c, ih, iw) = input.dims4();
         let (_gn, _gc, oh, ow) = grad_out.dims4();
@@ -301,40 +377,56 @@ impl Layer for ConvTranspose2d {
         let out_plane = oh * ow;
         let (k, stride, pad, in_ch, out_ch) =
             (self.k, self.stride, self.pad, self.in_ch, self.out_ch);
-        let mut grad_in = Tensor::zeros(&[n, c, ih, iw]);
         per_sample_scratch(&mut self.scratch_gcols, n);
+        per_sample_scratch(&mut self.scratch_dw, n);
+        per_sample_scratch(&mut self.scratch_db, n);
         let weight = self.weight.value.as_slice();
         let grad_out_data = grad_out.as_slice();
         let input_data = input.as_slice();
-        let jobs: SampleJobs = self
-            .scratch_gcols
-            .iter_mut()
-            .zip(grad_in.as_mut_slice().chunks_mut(c * in_plane))
-            .enumerate()
-            .collect();
-        let partials = pool::run(jobs, |(ni, (gcols, gi))| {
-            let go = &grad_out_data[ni * out_ch * out_plane..][..out_ch * out_plane];
-            // Adjoint of the forward scatter: gather with im2col.
-            im2col_into(gcols, go, out_ch, oh, ow, k, stride, pad);
-            debug_assert_eq!(gcols.len(), okk * in_plane);
-            // grad_in [in_ch × in_plane] = W · gcols.
-            matmul_into(gi, weight, gcols, in_ch, okk, in_plane);
-            // dW_ni [in_ch × okk] = x · gcolsᵀ.
-            let x = &input_data[ni * c * in_plane..][..c * in_plane];
-            let dw = matmul_nt(x, gcols, in_ch, in_plane, okk);
-            let db: Vec<f32> = go.chunks_exact(out_plane).map(|row| row.iter().sum()).collect();
-            (dw, db)
-        });
-        // Fixed sample-order reduction: thread-count independent bits.
-        for (dw, db) in &partials {
-            for (g, d) in self.weight.grad.as_mut_slice().iter_mut().zip(dw) {
-                *g += d;
+        // Adjoint of the forward scatter: gather with im2col, then
+        // dW_ni [in_ch × okk] = x · gcolsᵀ and db_ni = Σ_spatial gO. The
+        // column gradients are needed for dW even on the discard path.
+        let sample_params =
+            |ni: usize, gcols: &mut Vec<f32>, dw: &mut Vec<f32>, db: &mut Vec<f32>| {
+                let go = &grad_out_data[ni * out_ch * out_plane..][..out_ch * out_plane];
+                im2col_into(gcols, go, out_ch, oh, ow, k, stride, pad);
+                debug_assert_eq!(gcols.len(), okk * in_plane);
+                let x = &input_data[ni * c * in_plane..][..c * in_plane];
+                fit(dw, in_ch * okk);
+                matmul_nt_into(dw, x, gcols, in_ch, in_plane, okk);
+                db.clear();
+                db.extend(go.chunks_exact(out_plane).map(|row| row.iter().sum::<f32>()));
+            };
+        match grad_in {
+            Some(gi_t) => {
+                gi_t.resize(&[n, c, ih, iw]);
+                let jobs = self
+                    .scratch_gcols
+                    .iter_mut()
+                    .zip(self.scratch_dw.iter_mut())
+                    .zip(self.scratch_db.iter_mut())
+                    .zip(gi_t.as_mut_slice().chunks_mut(c * in_plane))
+                    .enumerate()
+                    .take(n);
+                pool::for_each(jobs, |(ni, (((gcols, dw), db), gi))| {
+                    sample_params(ni, gcols, dw, db);
+                    // grad_in [in_ch × in_plane] = W · gcols.
+                    matmul_into(gi, weight, gcols, in_ch, okk, in_plane);
+                });
             }
-            for (g, d) in self.bias.grad.as_mut_slice().iter_mut().zip(db) {
-                *g += d;
+            // Discard path (first layer): parameter gradients only.
+            None => {
+                let jobs = self
+                    .scratch_gcols
+                    .iter_mut()
+                    .zip(self.scratch_dw.iter_mut())
+                    .zip(self.scratch_db.iter_mut())
+                    .enumerate()
+                    .take(n);
+                pool::for_each(jobs, |(ni, ((gcols, dw), db))| sample_params(ni, gcols, dw, db));
             }
         }
-        grad_in
+        self.reduce_partials(n);
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -438,6 +530,22 @@ mod tests {
         let rhs: f64 =
             x.as_slice().iter().zip(dy.as_slice()).map(|(&a, &b)| a as f64 * b as f64).sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn discard_path_matches_param_grads() {
+        // backward_into(None) must accumulate exactly the gradients the
+        // full backward produces, just without the input gradient.
+        let x = init::uniform(&[2, 2, 6, 6], -1.0, 1.0, 15);
+        let mut a = Conv2d::new(2, 3, 3, 1, 1, 16);
+        let mut b = Conv2d::new(2, 3, 3, 1, 1, 16);
+        let ya = a.forward(&x, true);
+        let _ = b.forward(&x, true);
+        let g = init::uniform(ya.shape(), -1.0, 1.0, 17);
+        let _ = a.backward(&g);
+        b.backward_into(&g, None);
+        assert_eq!(a.weight.grad, b.weight.grad);
+        assert_eq!(a.bias.grad, b.bias.grad);
     }
 
     #[test]

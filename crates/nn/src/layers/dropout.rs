@@ -19,7 +19,10 @@ use crate::Tensor;
 pub struct Dropout {
     p: f32,
     state: u64,
-    cache_mask: Option<Vec<f32>>,
+    /// Persistent mask buffer, reused across steps; only meaningful while
+    /// `mask_active` is set (training forward with `p > 0`).
+    mask: Vec<f32>,
+    mask_active: bool,
 }
 
 impl Dropout {
@@ -30,7 +33,21 @@ impl Dropout {
     /// Panics unless `0 <= p < 1`.
     pub fn new(p: f32, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&p), "drop probability {p} out of [0,1)");
-        Dropout { p, state: seed | 1, cache_mask: None }
+        Dropout { p, state: seed | 1, mask: Vec::new(), mask_active: false }
+    }
+
+    /// Regenerates the persistent mask for `len` activations (one RNG draw
+    /// per element, same sequence as always).
+    fn fill_mask(&mut self, len: usize) {
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        self.mask.clear();
+        self.mask.reserve(len);
+        for _ in 0..len {
+            let m = if self.next_uniform() < self.p { 0.0 } else { scale };
+            self.mask.push(m);
+        }
+        self.mask_active = true;
     }
 
     /// Drop probability.
@@ -51,34 +68,64 @@ impl Dropout {
 
 impl Layer for Dropout {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        if !train || self.p == 0.0 {
-            self.cache_mask = None;
-            return input.clone();
-        }
-        let keep = 1.0 - self.p;
-        let scale = 1.0 / keep;
-        let mask: Vec<f32> = (0..input.len())
-            .map(|_| if self.next_uniform() < self.p { 0.0 } else { scale })
-            .collect();
-        let out = Tensor::from_vec(
-            input.shape(),
-            input.as_slice().iter().zip(&mask).map(|(&v, &m)| v * m).collect(),
-        );
-        self.cache_mask = Some(mask);
+        let mut out = Tensor::zeros(&[1]);
+        self.forward_into(input, &mut out, train);
         out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        match &self.cache_mask {
-            None => grad_out.clone(),
-            Some(mask) => {
-                assert_eq!(mask.len(), grad_out.len(), "dropout grad shape mismatch");
-                Tensor::from_vec(
-                    grad_out.shape(),
-                    grad_out.as_slice().iter().zip(mask).map(|(&g, &m)| g * m).collect(),
-                )
-            }
+        let mut grad_in = Tensor::zeros(&[1]);
+        self.backward_into(grad_out, Some(&mut grad_in));
+        grad_in
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        if !train || self.p == 0.0 {
+            self.mask_active = false;
+            out.copy_from(input);
+            return;
         }
+        self.fill_mask(input.len());
+        out.resize(input.shape());
+        for ((d, &v), &m) in out.as_mut_slice().iter_mut().zip(input.as_slice()).zip(&self.mask) {
+            *d = v * m;
+        }
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: Option<&mut Tensor>) {
+        let Some(gi) = grad_in else { return };
+        if !self.mask_active {
+            gi.copy_from(grad_out);
+            return;
+        }
+        assert_eq!(self.mask.len(), grad_out.len(), "dropout grad shape mismatch");
+        gi.resize(grad_out.shape());
+        for ((d, &g), &m) in gi.as_mut_slice().iter_mut().zip(grad_out.as_slice()).zip(&self.mask) {
+            *d = g * m;
+        }
+    }
+
+    fn forward_inplace(&mut self, x: &mut Tensor, train: bool) -> bool {
+        if !train || self.p == 0.0 {
+            self.mask_active = false;
+            return true;
+        }
+        self.fill_mask(x.len());
+        for (v, &m) in x.as_mut_slice().iter_mut().zip(&self.mask) {
+            *v *= m;
+        }
+        true
+    }
+
+    fn backward_inplace(&mut self, g: &mut Tensor) -> bool {
+        if !self.mask_active {
+            return true;
+        }
+        assert_eq!(self.mask.len(), g.len(), "dropout grad shape mismatch");
+        for (v, &m) in g.as_mut_slice().iter_mut().zip(&self.mask) {
+            *v *= m;
+        }
+        true
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}

@@ -21,21 +21,59 @@ impl Flatten {
     pub fn new() -> Self {
         Flatten { cache_shape: None }
     }
+
+    /// Records the pre-flatten shape (reusing the cached vector) and
+    /// returns the flattened `[N, rest]` dimensions.
+    fn cache(&mut self, shape: &[usize]) -> (usize, usize) {
+        assert!(shape.len() >= 2, "flatten needs a batch dimension");
+        let n = shape[0];
+        let rest: usize = shape[1..].iter().product();
+        match &mut self.cache_shape {
+            Some(v) => {
+                v.clear();
+                v.extend_from_slice(shape);
+            }
+            None => self.cache_shape = Some(shape.to_vec()),
+        }
+        (n, rest)
+    }
 }
 
 impl Layer for Flatten {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        let shape = input.shape().to_vec();
-        assert!(shape.len() >= 2, "flatten needs a batch dimension");
-        let n = shape[0];
-        let rest: usize = shape[1..].iter().product();
-        self.cache_shape = Some(shape);
+        let (n, rest) = self.cache(input.shape());
         input.clone().reshape(&[n, rest])
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let shape = self.cache_shape.as_ref().expect("backward before forward");
         grad_out.clone().reshape(shape)
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, _train: bool) {
+        let (n, rest) = self.cache(input.shape());
+        out.resize(&[n, rest]);
+        out.as_mut_slice().copy_from_slice(input.as_slice());
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: Option<&mut Tensor>) {
+        let shape = self.cache_shape.as_ref().expect("backward before forward");
+        if let Some(gi) = grad_in {
+            gi.resize(shape);
+            gi.as_mut_slice().copy_from_slice(grad_out.as_slice());
+        }
+    }
+
+    fn forward_inplace(&mut self, x: &mut Tensor, _train: bool) -> bool {
+        let (n, rest) = self.cache(x.shape());
+        x.set_shape(&[n, rest]);
+        true
+    }
+
+    fn backward_inplace(&mut self, g: &mut Tensor) -> bool {
+        let shape = self.cache_shape.as_ref().expect("backward before forward");
+        g.set_shape(shape);
+        true
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}

@@ -1,7 +1,7 @@
 //! Fully connected layer.
 
 use super::{Layer, Param};
-use crate::tensor::{matmul_nt, matmul_tn};
+use crate::gemm::{matmul_into, matmul_nt_into, matmul_tn_into};
 use crate::{init, Tensor};
 
 /// A fully connected layer `y = x·Wᵀ + b` over `[N, in]` tensors.
@@ -20,7 +20,10 @@ pub struct Linear {
     out_features: usize,
     weight: Param,
     bias: Param,
+    /// Persistent copy of the last forward input (reused across steps).
     cache_input: Option<Tensor>,
+    /// Scratch for the weight-gradient product, reused across steps.
+    scratch_dw: Vec<f32>,
 }
 
 impl Linear {
@@ -37,45 +40,64 @@ impl Linear {
             weight: Param::new(init::xavier_uniform(&[out_features, in_features], seed)),
             bias: Param::new(Tensor::zeros(&[out_features])),
             cache_input: None,
+            scratch_dw: Vec::new(),
         }
     }
 }
 
 impl Layer for Linear {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::zeros(&[1]);
+        self.forward_into(input, &mut out, train);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad_in = Tensor::zeros(&[1]);
+        self.backward_into(grad_out, Some(&mut grad_in));
+        grad_in
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, _train: bool) {
         let (n, f) = input.dims2();
         assert_eq!(f, self.in_features, "Linear expects {} features, got {f}", self.in_features);
+        out.resize(&[n, self.out_features]);
         // y [n × out] = x [n × in] · Wᵀ, W stored [out × in].
-        let mut y = matmul_nt(
+        matmul_nt_into(
+            out.as_mut_slice(),
             input.as_slice(),
             self.weight.value.as_slice(),
             n,
             self.in_features,
             self.out_features,
         );
-        for row in y.chunks_exact_mut(self.out_features) {
+        for row in out.as_mut_slice().chunks_exact_mut(self.out_features) {
             for (v, &b) in row.iter_mut().zip(self.bias.value.as_slice()) {
                 *v += b;
             }
         }
-        self.cache_input = Some(input.clone());
-        Tensor::from_vec(&[n, self.out_features], y)
+        match &mut self.cache_input {
+            Some(t) => t.copy_from(input),
+            None => self.cache_input = Some(input.clone()),
+        }
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: Option<&mut Tensor>) {
         let input = self.cache_input.as_ref().expect("backward before forward");
         let (n, _) = input.dims2();
         let (gn, go) = grad_out.dims2();
         assert_eq!((gn, go), (n, self.out_features), "grad_out shape mismatch");
         // dW [out × in] += gOᵀ [out × n] · x [n × in].
-        let dw = matmul_tn(
+        self.scratch_dw.resize(self.out_features * self.in_features, 0.0);
+        matmul_tn_into(
+            &mut self.scratch_dw,
             grad_out.as_slice(),
             input.as_slice(),
             self.out_features,
             n,
             self.in_features,
         );
-        for (g, d) in self.weight.grad.as_mut_slice().iter_mut().zip(&dw) {
+        for (g, d) in self.weight.grad.as_mut_slice().iter_mut().zip(&self.scratch_dw) {
             *g += d;
         }
         for row in grad_out.as_slice().chunks_exact(self.out_features) {
@@ -83,15 +105,18 @@ impl Layer for Linear {
                 *g += v;
             }
         }
-        // dx [n × in] = gO [n × out] · W [out × in].
-        let dx = crate::tensor::matmul(
-            grad_out.as_slice(),
-            self.weight.value.as_slice(),
-            n,
-            self.out_features,
-            self.in_features,
-        );
-        Tensor::from_vec(&[n, self.in_features], dx)
+        // dx [n × in] = gO [n × out] · W [out × in] — skipped on discard.
+        if let Some(gi) = grad_in {
+            gi.resize(&[n, self.in_features]);
+            matmul_into(
+                gi.as_mut_slice(),
+                grad_out.as_slice(),
+                self.weight.value.as_slice(),
+                n,
+                self.out_features,
+                self.in_features,
+            );
+        }
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {

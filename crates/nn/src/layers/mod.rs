@@ -67,6 +67,45 @@ pub trait Layer: Send {
     /// Panics if no forward pass has been run.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
 
+    /// Buffer-reusing forward: writes the output into `out`, resizing it in
+    /// place. `out` must not alias `input`. Layers override this with an
+    /// allocation-free kernel; the default funnels through the allocating
+    /// [`Layer::forward`].
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        *out = self.forward(input, train);
+    }
+
+    /// Buffer-reusing backward: accumulates parameter gradients and, when
+    /// `grad_in` is `Some`, writes the input gradient into it (resized in
+    /// place; must not alias `grad_out`). `None` is the discard path: the
+    /// layer skips computing the input gradient entirely (the first layer
+    /// of a network feeds data, not another layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward pass has been run.
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: Option<&mut Tensor>) {
+        let g = self.backward(grad_out);
+        if let Some(dst) = grad_in {
+            *dst = g;
+        }
+    }
+
+    /// In-place forward for element-wise layers: transforms `x` directly,
+    /// returning `true`, or returns `false` (touching nothing) when the
+    /// layer cannot run in place. [`Sequential`] uses this to fuse
+    /// activation application into the preceding layer's output buffer.
+    fn forward_inplace(&mut self, _x: &mut Tensor, _train: bool) -> bool {
+        false
+    }
+
+    /// In-place counterpart of [`Layer::forward_inplace`] for the gradient:
+    /// transforms `g` directly and returns `true`, or returns `false` when
+    /// unsupported.
+    fn backward_inplace(&mut self, _g: &mut Tensor) -> bool {
+        false
+    }
+
     /// Visits every trainable parameter (values and gradients), in a stable
     /// order.
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
@@ -93,12 +132,18 @@ pub trait Layer: Send {
 #[derive(Default)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+    /// Two persistent transit buffers ping-ponged between layers by
+    /// [`Sequential::forward_into`] / [`Sequential::backward_into`]. Sized
+    /// lazily on first use and reused across steps; each layer owns its own
+    /// backward caches, so the tape is free for the gradient pass as soon
+    /// as the forward pass ends.
+    tape: Vec<Tensor>,
 }
 
 impl Sequential {
     /// An empty stack.
     pub fn new() -> Self {
-        Sequential { layers: Vec::new() }
+        Sequential::default()
     }
 
     /// Appends a layer.
@@ -134,6 +179,109 @@ impl Sequential {
             g = layer.backward(&g);
         }
         g
+    }
+
+    /// Buffer-reusing forward pass: runs the stack through the persistent
+    /// two-slot tape and writes the network output into `out` (resized in
+    /// place). Element-wise layers transform the current tape slot in place
+    /// via [`Layer::forward_inplace`]; everything else ping-pongs between
+    /// the two slots. After the first call has sized the tape, the pass
+    /// performs no heap allocation. Results are bit-identical to
+    /// [`Sequential::forward`].
+    pub fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        let n = self.layers.len();
+        if n == 0 {
+            out.copy_from(input);
+            return;
+        }
+        self.ensure_tape();
+        // `cur` tracks which tape slot holds the running activation; `None`
+        // means the caller's input is still the source (first layer only,
+        // which therefore never runs in place).
+        let mut cur: Option<usize> = None;
+        for i in 0..n {
+            let last = i + 1 == n;
+            match cur {
+                None if last => self.layers[i].forward_into(input, out, train),
+                None => {
+                    self.layers[i].forward_into(input, &mut self.tape[0], train);
+                    cur = Some(0);
+                }
+                Some(t) if last => {
+                    let (a, b) = self.tape.split_at_mut(1);
+                    let src = if t == 0 { &a[0] } else { &b[0] };
+                    self.layers[i].forward_into(src, out, train);
+                }
+                Some(t) => {
+                    if self.layers[i].forward_inplace(&mut self.tape[t], train) {
+                        continue;
+                    }
+                    let (src, dst) = tape_pair(&mut self.tape, t);
+                    self.layers[i].forward_into(src, dst, train);
+                    cur = Some(1 - t);
+                }
+            }
+        }
+    }
+
+    /// Buffer-reusing backward pass through the same persistent tape.
+    /// `grad_in = Some(buf)` receives the input gradient (resized in
+    /// place); `None` lets the first layer skip computing it entirely —
+    /// the discard path for networks whose input is data, not another
+    /// network. Results are bit-identical to [`Sequential::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward pass has been run.
+    pub fn backward_into(&mut self, grad_out: &Tensor, mut grad_in: Option<&mut Tensor>) {
+        let n = self.layers.len();
+        if n == 0 {
+            if let Some(dst) = grad_in {
+                dst.copy_from(grad_out);
+            }
+            return;
+        }
+        self.ensure_tape();
+        let mut cur: Option<usize> = None;
+        for i in (0..n).rev() {
+            let first = i == 0;
+            match cur {
+                None if first => self.layers[i].backward_into(grad_out, grad_in.take()),
+                None => {
+                    self.layers[i].backward_into(grad_out, Some(&mut self.tape[0]));
+                    cur = Some(0);
+                }
+                Some(t) if first => {
+                    let (a, b) = self.tape.split_at_mut(1);
+                    let src = if t == 0 { &a[0] } else { &b[0] };
+                    self.layers[i].backward_into(src, grad_in.take());
+                }
+                Some(t) => {
+                    if self.layers[i].backward_inplace(&mut self.tape[t]) {
+                        continue;
+                    }
+                    let (src, dst) = tape_pair(&mut self.tape, t);
+                    self.layers[i].backward_into(src, Some(dst));
+                    cur = Some(1 - t);
+                }
+            }
+        }
+    }
+
+    /// Backward pass that discards the input gradient — shorthand for
+    /// [`Sequential::backward_into`] with `grad_in = None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward pass has been run.
+    pub fn backward_discard(&mut self, grad_out: &Tensor) {
+        self.backward_into(grad_out, None);
+    }
+
+    fn ensure_tape(&mut self) {
+        if self.tape.is_empty() {
+            self.tape = vec![Tensor::zeros(&[1]), Tensor::zeros(&[1])];
+        }
     }
 
     /// Visits every parameter of every layer in order.
@@ -199,9 +347,32 @@ impl Sequential {
     /// evaluation-mode outputs exactly.
     pub fn export_params(&mut self) -> Vec<Tensor> {
         let mut out = Vec::new();
-        self.visit_params(&mut |p| out.push(p.value.clone()));
-        self.visit_buffers(&mut |b| out.push(Tensor::from_vec(&[b.len()], b.clone())));
+        self.export_params_into(&mut out);
         out
+    }
+
+    /// Buffer-reusing variant of [`Sequential::export_params`]: overwrites
+    /// `out` in place, recycling matching-shape slots from a previous
+    /// snapshot so repeated exports (e.g. best-validation snapshotting every
+    /// improvement) stop cloning the full parameter set.
+    pub fn export_params_into(&mut self, out: &mut Vec<Tensor>) {
+        fn write_slot(out: &mut Vec<Tensor>, idx: usize, shape: &[usize], data: &[f32]) {
+            match out.get_mut(idx) {
+                Some(slot) if slot.shape() == shape => slot.as_mut_slice().copy_from_slice(data),
+                Some(slot) => *slot = Tensor::from_vec(shape, data.to_vec()),
+                None => out.push(Tensor::from_vec(shape, data.to_vec())),
+            }
+        }
+        let mut idx = 0usize;
+        self.visit_params(&mut |p| {
+            write_slot(out, idx, p.value.shape(), p.value.as_slice());
+            idx += 1;
+        });
+        self.visit_buffers(&mut |b| {
+            write_slot(out, idx, &[b.len()], b);
+            idx += 1;
+        });
+        out.truncate(idx);
     }
 
     /// Loads a snapshot produced by [`Sequential::export_params`].
@@ -261,6 +432,17 @@ impl Sequential {
         }
         lines.push(format!("total parameters: {}", self.param_count()));
         lines.join("\n")
+    }
+}
+
+/// Splits the two-slot tape into `(source, destination)` around the slot
+/// currently holding the activation/gradient.
+fn tape_pair(tape: &mut [Tensor], src: usize) -> (&Tensor, &mut Tensor) {
+    let (a, b) = tape.split_at_mut(1);
+    if src == 0 {
+        (&a[0], &mut b[0])
+    } else {
+        (&b[0], &mut a[0])
     }
 }
 

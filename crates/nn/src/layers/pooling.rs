@@ -35,12 +35,24 @@ impl AvgPool2d {
 }
 
 impl Layer for AvgPool2d {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::zeros(&[1]);
+        self.forward_into(input, &mut out, train);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad_in = Tensor::zeros(&[1]);
+        self.backward_into(grad_out, Some(&mut grad_in));
+        grad_in
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, _train: bool) {
         let (n, c, h, w) = input.dims4();
         let oh = conv_out_size(h, self.k, self.k, 0);
         let ow = conv_out_size(w, self.k, self.k, 0);
         let norm = 1.0 / (self.k * self.k) as f32;
-        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        out.resize(&[n, c, oh, ow]);
         for ni in 0..n {
             for ci in 0..c {
                 let src = &input.as_slice()[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
@@ -60,14 +72,16 @@ impl Layer for AvgPool2d {
             }
         }
         self.cache_in_shape = Some((n, c, h, w));
-        out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: Option<&mut Tensor>) {
         let (n, c, h, w) = self.cache_in_shape.expect("backward before forward");
+        // No parameters, so the discard path has no work at all.
+        let Some(grad_in) = grad_in else { return };
         let (_, _, oh, ow) = grad_out.dims4();
         let norm = 1.0 / (self.k * self.k) as f32;
-        let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+        grad_in.resize(&[n, c, h, w]);
+        grad_in.as_mut_slice().fill(0.0);
         for ni in 0..n {
             for ci in 0..c {
                 let src =
@@ -87,7 +101,6 @@ impl Layer for AvgPool2d {
                 }
             }
         }
-        grad_in
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}

@@ -57,6 +57,26 @@ pub fn sum_squared_error(a: &Tensor, b: &Tensor) -> (f64, Tensor) {
     (value, Tensor::from_vec(a.shape(), grad))
 }
 
+/// Fused-scale variant of [`sum_squared_error`]: returns `Σ (a − b)²` and
+/// **accumulates** `scale · 2(a − b)` into `grad` (which must already have
+/// the same shape). Folding the batch/weight scale into the gradient pass
+/// avoids materializing the intermediate gradient tensor in the trainer.
+///
+/// # Panics
+///
+/// Panics on any shape mismatch.
+pub fn sum_squared_error_acc_into(a: &Tensor, b: &Tensor, scale: f32, grad: &mut Tensor) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "sse shape mismatch");
+    assert_eq!(grad.shape(), a.shape(), "sse grad shape mismatch");
+    let mut value = 0.0f64;
+    for ((g, &x), &y) in grad.as_mut_slice().iter_mut().zip(a.as_slice()).zip(b.as_slice()) {
+        let d = x - y;
+        value += (d as f64) * (d as f64);
+        *g += (2.0 * d) * scale;
+    }
+    value
+}
+
 /// Clamps a probability away from 0/1 so `log` stays finite.
 #[inline]
 fn clamp_p(p: f32) -> f32 {
@@ -93,6 +113,33 @@ pub fn bce_scalar_label(p: &Tensor, label: f32) -> (f64, Tensor) {
         })
         .collect();
     (value / n, Tensor::from_vec(p.shape(), grad))
+}
+
+/// Fused-scale variant of [`bce_scalar_label`]: writes `scale · ∂BCE/∂p`
+/// into `grad` (resized to match `p`) and returns the mean BCE value. The
+/// per-element gradient is computed exactly as in the allocating version and
+/// then multiplied by `scale`, so `scale = 1` reproduces it bit for bit.
+///
+/// # Panics
+///
+/// Panics unless `label` is exactly 0 or 1.
+pub fn bce_scalar_label_into(p: &Tensor, label: f32, scale: f32, grad: &mut Tensor) -> f64 {
+    assert!(label == 0.0 || label == 1.0, "label must be 0 or 1");
+    let n = p.len() as f64;
+    grad.resize(p.shape());
+    let mut value = 0.0f64;
+    for (g, &raw) in grad.as_mut_slice().iter_mut().zip(p.as_slice()) {
+        let pc = clamp_p(raw);
+        let base = if label == 1.0 {
+            value += -(pc as f64).ln();
+            -1.0 / (pc * n as f32)
+        } else {
+            value += -((1.0 - pc) as f64).ln();
+            1.0 / ((1.0 - pc) * n as f32)
+        };
+        *g = base * scale;
+    }
+    value / n
 }
 
 #[cfg(test)]
@@ -171,5 +218,32 @@ mod tests {
     #[should_panic(expected = "label must be 0 or 1")]
     fn bce_rejects_soft_labels() {
         let _ = bce_scalar_label(&Tensor::zeros(&[1]), 0.5);
+    }
+
+    #[test]
+    fn fused_bce_matches_allocating_plus_scale() {
+        let p = Tensor::from_vec(&[4], vec![0.2, 0.5, 0.7, 0.9]);
+        for label in [0.0, 1.0] {
+            for scale in [1.0f32, 0.25] {
+                let (v, g) = bce_scalar_label(&p, label);
+                let mut fused = Tensor::zeros(&[1]);
+                let fv = bce_scalar_label_into(&p, label, scale, &mut fused);
+                assert_eq!(fv, v);
+                assert_eq!(fused, g.scale(scale));
+            }
+        }
+    }
+
+    #[test]
+    fn fused_sse_accumulates_scaled_gradient() {
+        let a = Tensor::from_vec(&[3], vec![0.5, -0.2, 0.8]);
+        let b = Tensor::from_vec(&[3], vec![0.3, 0.1, 0.8]);
+        let (v, g) = sum_squared_error(&a, &b);
+        let mut acc = Tensor::filled(&[3], 10.0);
+        let fv = sum_squared_error_acc_into(&a, &b, 0.5, &mut acc);
+        assert_eq!(fv, v);
+        for (got, want) in acc.as_slice().iter().zip(g.as_slice()) {
+            assert!((got - (10.0 + 0.5 * want)).abs() < 1e-6);
+        }
     }
 }

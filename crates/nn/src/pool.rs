@@ -7,7 +7,8 @@
 //!
 //! * **One knob.** `GANOPC_THREADS` caps every pool in the process; the
 //!   default is [`std::thread::available_parallelism`]. The variable is read
-//!   fresh on each call so tests can toggle it at runtime.
+//!   once (reading it per call would allocate a `String` on every hot-path
+//!   dispatch); [`set_max_threads`] overrides it at runtime for tests.
 //! * **Deterministic results.** Jobs are split into contiguous chunks and the
 //!   per-job results are returned **in job order**, regardless of how many
 //!   workers ran them. Callers that reduce (sum gradients, accumulate error)
@@ -18,6 +19,8 @@
 //!   the worker thread instead of spawning a second generation of threads.
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 thread_local! {
     /// Set while a pool worker is executing jobs; nested [`run`] calls on
@@ -25,17 +28,40 @@ thread_local! {
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
+/// Runtime thread-count override installed by [`set_max_threads`]
+/// (`0` = unset, fall through to the environment/default cap).
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide cap from `GANOPC_THREADS` / `available_parallelism`,
+/// resolved once: `std::env::var` allocates a `String`, and [`max_threads`]
+/// sits on every hot-path dispatch, which must stay allocation-free.
+static ENV_CAP: OnceLock<usize> = OnceLock::new();
+
 /// Maximum number of worker threads a [`run`] call may use.
 ///
-/// Reads the `GANOPC_THREADS` environment variable on every call (values
-/// `< 1` or unparsable fall back to the default) so the override can be
-/// changed between training steps, e.g. by the determinism tests.
+/// A [`set_max_threads`] override wins; otherwise the `GANOPC_THREADS`
+/// environment variable, read **once** per process (values `< 1` or
+/// unparsable fall back to [`std::thread::available_parallelism`]).
 pub fn max_threads() -> usize {
-    std::env::var("GANOPC_THREADS")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    let forced = OVERRIDE.load(Ordering::Relaxed);
+    if forced >= 1 {
+        return forced;
+    }
+    *ENV_CAP.get_or_init(|| {
+        std::env::var("GANOPC_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
+}
+
+/// Overrides [`max_threads`] for the whole process (`None` restores the
+/// environment/default cap). This is how the determinism and allocation
+/// tests switch thread counts at runtime, since the environment variable is
+/// only consulted once.
+pub fn set_max_threads(threads: Option<usize>) {
+    OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
 }
 
 /// True when the calling thread is already a pool worker (nested parallel
@@ -99,6 +125,30 @@ where
     .expect("pool scope panicked")
 }
 
+/// Side-effect-only counterpart of [`run`]: executes `f` over `jobs` with
+/// the same chunking, ordering and nesting guarantees, but returns nothing.
+///
+/// The serial path (one thread, one job, or already inside a worker) walks
+/// the iterator directly **without allocating**, which is what keeps the
+/// per-sample convolution jobs allocation-free in the steady state; the
+/// parallel path collects the jobs and delegates to [`run`] (the unit
+/// results are zero-sized, so the result vector never touches the
+/// allocator).
+pub fn for_each<I, F>(jobs: I, f: F)
+where
+    I: ExactSizeIterator,
+    I::Item: Send,
+    F: Fn(I::Item) + Sync,
+{
+    if max_threads().min(jobs.len()) <= 1 || in_worker() {
+        for job in jobs {
+            f(job);
+        }
+        return;
+    }
+    run(jobs.collect(), f);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,13 +191,23 @@ mod tests {
     }
 
     #[test]
-    fn env_override_caps_threads() {
-        // `max_threads` re-reads the variable each call.
-        std::env::set_var("GANOPC_THREADS", "3");
+    fn for_each_covers_every_job() {
+        let mut data = vec![0u32; 64];
+        for_each(data.chunks_mut(16).enumerate(), |(idx, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = idx as u32 + 1;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v as usize, i / 16 + 1);
+        }
+    }
+
+    #[test]
+    fn runtime_override_caps_threads() {
+        set_max_threads(Some(3));
         assert_eq!(max_threads(), 3);
-        std::env::set_var("GANOPC_THREADS", "not-a-number");
-        assert!(max_threads() >= 1);
-        std::env::remove_var("GANOPC_THREADS");
+        set_max_threads(None);
         assert!(max_threads() >= 1);
     }
 }

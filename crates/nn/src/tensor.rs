@@ -150,6 +150,47 @@ impl Tensor {
         self
     }
 
+    /// Resizes in place to `shape`, reusing the existing buffer capacity.
+    /// Contents are unspecified afterwards — every caller is expected to
+    /// overwrite the buffer. Once a tensor has been resized to its largest
+    /// shape, further `resize` calls never touch the allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty shape or any zero dimension.
+    pub fn resize(&mut self, shape: &[usize]) {
+        let len = check_shape(shape);
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        self.data.resize(len, 0.0);
+    }
+
+    /// Reinterprets the shape in place without touching the data — the
+    /// buffer-reusing counterpart of [`Tensor::reshape`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the element counts disagree.
+    pub fn set_shape(&mut self, shape: &[usize]) {
+        let len = check_shape(shape);
+        assert_eq!(len, self.data.len(), "reshape changes element count");
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+    }
+
+    /// Copies shape and contents from `src`, reusing this tensor's capacity.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.resize(&src.shape);
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// In-place `self *= s`.
+    pub fn scale_assign(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
     /// Element-wise map into a new tensor (parallel for large tensors).
     pub fn map<F: Fn(f32) -> f32 + Sync>(&self, f: F) -> Tensor {
         let mut data = self.data.clone();
@@ -259,6 +300,58 @@ impl Tensor {
         out
     }
 
+    /// Buffer-reusing variant of [`Tensor::concat_channels`]: writes the
+    /// channel concatenation into `self`, resizing it in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all tensors are 4-D and agree on `N, H, W`, or when
+    /// `self` aliases one of the parts (enforced by borrow rules).
+    pub fn concat_channels_into(&mut self, parts: &[&Tensor]) {
+        assert!(!parts.is_empty(), "concat of zero tensors");
+        let (n, _, h, w) = parts[0].dims4();
+        let total_c: usize = parts
+            .iter()
+            .map(|p| {
+                let (pn, pc, ph, pw) = p.dims4();
+                assert_eq!((pn, ph, pw), (n, h, w), "concat dims mismatch");
+                pc
+            })
+            .sum();
+        self.resize(&[n, total_c, h, w]);
+        let plane = h * w;
+        for ni in 0..n {
+            let mut c0 = 0usize;
+            for p in parts {
+                let pc = p.shape()[1];
+                let src = &p.data[ni * pc * plane..(ni + 1) * pc * plane];
+                let dst_start = (ni * total_c + c0) * plane;
+                self.data[dst_start..dst_start + pc * plane].copy_from_slice(src);
+                c0 += pc;
+            }
+        }
+    }
+
+    /// Copies channels `[c0, c0 + count)` of a 4-D tensor into `out`
+    /// (resized in place) — the buffer-reusing, single-group counterpart of
+    /// [`Tensor::split_channels`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the channel range is out of bounds.
+    pub fn extract_channels_into(&self, c0: usize, count: usize, out: &mut Tensor) {
+        let (n, c, h, w) = self.dims4();
+        assert!(count > 0 && c0 + count <= c, "channel range {c0}..{} out of {c}", c0 + count);
+        out.resize(&[n, count, h, w]);
+        let plane = h * w;
+        for ni in 0..n {
+            let src_start = (ni * c + c0) * plane;
+            let dst_start = ni * count * plane;
+            out.data[dst_start..dst_start + count * plane]
+                .copy_from_slice(&self.data[src_start..src_start + count * plane]);
+        }
+    }
+
     /// Splits a 4-D tensor back into channel groups of the given sizes —
     /// the inverse of [`Tensor::concat_channels`].
     ///
@@ -328,8 +421,9 @@ fn par_threads(len: usize) -> usize {
 }
 
 // The matrix-multiply kernels behind the layers live in [`crate::gemm`]
-// (cache-blocked, register-tiled, pool-parallel); these aliases keep the
-// historical call sites readable.
+// (cache-blocked, register-tiled, pool-parallel); the layers call the
+// `_into` variants directly, so these aliases only serve the tests below.
+#[cfg(test)]
 pub(crate) use crate::gemm::{matmul, matmul_nt, matmul_tn};
 
 #[cfg(test)]

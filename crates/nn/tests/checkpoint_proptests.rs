@@ -30,7 +30,7 @@ fn container() -> impl Strategy<Value = Checkpoint> {
     )
         .prop_map(|(tensors, ints, floats, blob)| {
             let mut ck = Checkpoint::new();
-            ck.put_tensors("net/params", tensors);
+            ck.put_tensors("net/params", &tensors);
             for (i, v) in ints.iter().enumerate() {
                 ck.put_u64(&format!("int/{i}"), *v);
             }

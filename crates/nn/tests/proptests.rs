@@ -1,7 +1,8 @@
 //! Property-based tests for the neural-network substrate.
 
 use ganopc_nn::layers::{
-    BatchNorm2d, Conv2d, ConvTranspose2d, Layer, LeakyRelu, Linear, Relu, Sequential, Sigmoid,
+    AvgPool2d, BatchNorm2d, Conv2d, ConvTranspose2d, Flatten, Layer, LeakyRelu, Linear, Relu,
+    Sequential, Sigmoid,
 };
 use ganopc_nn::{checkpoint, loss, Tensor};
 use proptest::prelude::*;
@@ -145,6 +146,63 @@ proptest! {
         prop_assert_eq!(y.shape(), &[2, 2, 4, 4]);
         let g = net.backward(&Tensor::filled(y.shape(), 1.0));
         prop_assert_eq!(g.shape(), x.shape());
+    }
+
+    /// The persistent-buffer execution paths (`forward_into`,
+    /// `backward_into`, `backward_discard`) are bit-identical to the
+    /// allocating reference path on a stack covering every fused kernel
+    /// family: conv, batchnorm, activations (in-place), pooling, flatten
+    /// (zero-copy reshape) and linear.
+    #[test]
+    fn into_paths_match_allocating_paths(x in tensor4(2, 1, 8, 8), g_scale in 0.5f32..1.5) {
+        let build = || {
+            let mut net = Sequential::new();
+            net.push(Conv2d::new(1, 4, 3, 1, 1, 21));
+            net.push(BatchNorm2d::new(4));
+            net.push(LeakyRelu::new(0.2));
+            net.push(AvgPool2d::new(2));
+            net.push(Flatten::new());
+            net.push(Linear::new(4 * 4 * 4, 3, 22));
+            net.push(Sigmoid::new());
+            net
+        };
+        let mut old = build();
+        let mut new = build();
+        let y_old = old.forward(&x, true);
+        let mut y_new = Tensor::zeros(&[1]);
+        new.forward_into(&x, &mut y_new, true);
+        prop_assert_eq!(y_old.shape(), y_new.shape());
+        prop_assert_eq!(y_old.as_slice(), y_new.as_slice());
+
+        let grad = Tensor::filled(y_old.shape(), g_scale);
+        old.zero_grads();
+        new.zero_grads();
+        let gi_old = old.backward(&grad);
+        let mut gi_new = Tensor::zeros(&[1]);
+        new.backward_into(&grad, Some(&mut gi_new));
+        prop_assert_eq!(gi_old.shape(), gi_new.shape());
+        prop_assert_eq!(gi_old.as_slice(), gi_new.as_slice());
+
+        let mut pg_old = Vec::new();
+        old.visit_params(&mut |p| pg_old.push(p.grad.clone()));
+        let mut i = 0;
+        new.visit_params(&mut |p| {
+            assert_eq!(p.grad.as_slice(), pg_old[i].as_slice(), "param grad {i} diverged");
+            i += 1;
+        });
+
+        // The discard path skips the input gradient but must still produce
+        // the exact same parameter gradients.
+        let mut discard = build();
+        let mut y_d = Tensor::zeros(&[1]);
+        discard.forward_into(&x, &mut y_d, true);
+        discard.zero_grads();
+        discard.backward_discard(&grad);
+        i = 0;
+        discard.visit_params(&mut |p| {
+            assert_eq!(p.grad.as_slice(), pg_old[i].as_slice(), "discard param grad {i} diverged");
+            i += 1;
+        });
     }
 
     /// Linear layer is affine: f(a+b) - f(b) == f(a) - f(0).

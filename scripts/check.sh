@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> allocation regression (steady-state train/infer must not allocate)"
+cargo test -q -p ganopc-core --test alloc_regression
+
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 
