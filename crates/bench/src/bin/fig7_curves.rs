@@ -11,7 +11,7 @@
 //! the PGAN-OPC curve is smoother and converges to a lower loss.
 
 use ganopc_bench::{build_dataset, train_variant, Scale};
-use std::io::Write;
+use ganopc_geometry::io::write_atomic;
 
 fn main() {
     let scale = Scale::from_env();
@@ -30,17 +30,13 @@ fn main() {
     }
     print!("{csv}");
     std::fs::create_dir_all("target").ok();
-    std::fs::File::create("target/fig7_curves.csv")
-        .and_then(|mut f| f.write_all(csv.as_bytes()))
-        .expect("write csv");
+    write_atomic("target/fig7_curves.csv", csv.as_bytes()).expect("write csv");
 
     let mut pre = String::from("step,litho_error\n");
     for (i, e) in pgan.pretrain_curve.iter().enumerate() {
         pre.push_str(&format!("{},{:.4}\n", i + 1, e));
     }
-    std::fs::File::create("target/fig7_pretrain.csv")
-        .and_then(|mut f| f.write_all(pre.as_bytes()))
-        .expect("write pretrain csv");
+    write_atomic("target/fig7_pretrain.csv", pre.as_bytes()).expect("write pretrain csv");
 
     // Convergence summary (the Fig. 7 takeaway).
     let tail = steps / 5;

@@ -136,6 +136,7 @@ pub fn build_dataset(scale: Scale, seed: u64) -> OpcDataset {
         Scale::Paper => 120,
     };
     OpcDataset::synthesize(scale.net_size(), scale.dataset_count(), reference, seed)
+        // PANIC: documented above — the figure harness aborts on setup failure.
         .expect("dataset synthesis failed")
 }
 
@@ -147,6 +148,7 @@ pub fn build_dataset(scale: Scale, seed: u64) -> OpcDataset {
 pub fn pretrain_model(scale: Scale) -> LithoModel {
     let mut cfg = OpticalConfig::default_32nm(2048.0 / scale.net_size() as f64);
     cfg.num_kernels = 12;
+    // PANIC: documented above — the figure harness aborts on setup failure.
     LithoModel::new_cached(cfg, scale.net_size(), scale.net_size()).expect("litho model")
 }
 
@@ -184,6 +186,7 @@ pub fn train_variant(
         pcfg.batch_size = 4;
         pcfg.seed = seed ^ 0xABCD;
         let stats = pretrain_generator(&mut generator, &model, dataset, &pcfg)
+            // PANIC: documented on train_variant — the harness aborts on failure.
             .expect("pre-training failed");
         pretrain_curve = stats.iter().map(|s| s.litho_error).collect();
     }
@@ -222,6 +225,7 @@ pub struct FlowMeasurement {
 pub fn make_baseline(scale: Scale) -> IltEngine {
     let mut cfg = IltConfig::mosaic();
     cfg.max_iterations = scale.ilt_iters();
+    // PANIC: documented above — the figure harness aborts on setup failure.
     let model = LithoModel::iccad2013_like_cached(scale.litho_size()).expect("litho model");
     IltEngine::new(model, cfg)
 }
@@ -232,6 +236,7 @@ pub fn make_baseline(scale: Scale) -> IltEngine {
 ///
 /// Panics on optimization failure.
 pub fn measure_baseline(engine: &mut IltEngine, target: &Field) -> FlowMeasurement {
+    // PANIC: documented above — the figure harness aborts on failure.
     let result = engine.optimize(target).expect("ilt baseline failed");
     let px = engine.model().pixel_nm();
     let [inner, _, outer] = engine.model().process_window(&result.mask);
@@ -260,6 +265,7 @@ pub fn make_flow(scale: Scale, generator: Generator) -> GanOpcFlow {
     // runtime advantage comes purely from the warmer starting point.
     cfg.refinement.tolerance = 1e-4;
     cfg.refinement.patience = 12;
+    // PANIC: documented on make_flow — the harness aborts on setup failure.
     GanOpcFlow::with_generator(cfg, generator).expect("flow construction")
 }
 
@@ -269,6 +275,7 @@ pub fn make_flow(scale: Scale, generator: Generator) -> GanOpcFlow {
 ///
 /// Panics on flow failure.
 pub fn measure_flow(flow: &mut GanOpcFlow, target: &Field) -> FlowMeasurement {
+    // PANIC: documented above — the figure harness aborts on failure.
     let result = flow.optimize(target).expect("flow failed");
     FlowMeasurement {
         l2_nm2: result.l2_nm2,

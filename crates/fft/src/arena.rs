@@ -39,7 +39,10 @@ impl Arena {
     }
 
     /// Borrows a zeroed complex buffer of length `len`.
+    // lint: hot-path
     pub fn take_complex(&self, len: usize) -> Vec<Complex> {
+        // PANIC: the freelist lock is only held for push/pop, which cannot
+        // panic, so the mutex can never be poisoned.
         let mut buf = self.complex.lock().expect("arena poisoned").pop().unwrap_or_default();
         if buf.capacity() < len {
             self.fresh.fetch_add(1, Ordering::Relaxed);
@@ -50,12 +53,16 @@ impl Arena {
     }
 
     /// Returns a complex buffer to the freelist.
+    // lint: hot-path
     pub fn put_complex(&self, buf: Vec<Complex>) {
+        // PANIC: see take_complex — push/pop critical sections cannot panic.
         self.complex.lock().expect("arena poisoned").push(buf);
     }
 
     /// Borrows a zeroed real buffer of length `len`.
+    // lint: hot-path
     pub fn take_real(&self, len: usize) -> Vec<f32> {
+        // PANIC: see take_complex — push/pop critical sections cannot panic.
         let mut buf = self.real.lock().expect("arena poisoned").pop().unwrap_or_default();
         if buf.capacity() < len {
             self.fresh.fetch_add(1, Ordering::Relaxed);
@@ -66,7 +73,9 @@ impl Arena {
     }
 
     /// Returns a real buffer to the freelist.
+    // lint: hot-path
     pub fn put_real(&self, buf: Vec<f32>) {
+        // PANIC: see take_complex — push/pop critical sections cannot panic.
         self.real.lock().expect("arena poisoned").push(buf);
     }
 

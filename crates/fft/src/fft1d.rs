@@ -145,6 +145,7 @@ impl Fft1d {
     /// # Errors
     ///
     /// Returns [`FftError::SizeMismatch`] when `data.len() != self.len()`.
+    // lint: hot-path
     pub fn transform(&self, data: &mut [Complex], dir: Direction) -> Result<(), FftError> {
         if data.len() != self.len {
             return Err(FftError::SizeMismatch { expected: self.len, actual: data.len() });
@@ -157,6 +158,7 @@ impl Fft1d {
     ///
     /// Used by [`crate::Fft2d`] and [`crate::RealFft2d`] on internal rows
     /// where the length invariant is maintained structurally.
+    // lint: hot-path
     pub(crate) fn transform_unchecked(&self, data: &mut [Complex], dir: Direction) {
         let n = self.len;
         if n <= 1 {
@@ -188,6 +190,7 @@ impl Fft1d {
     /// All radix-4 stages for one direction. `INV` selects the conjugated
     /// twiddle table and the sign of the `±i` rotation, monomorphizing the
     /// butterfly into two branch-free inner loops.
+    // lint: hot-path
     fn radix4_stages<const INV: bool>(&self, data: &mut [Complex], mut m: usize) {
         let table: &[Complex] = if INV { &self.inv } else { &self.fwd };
         let n = data.len();
@@ -201,6 +204,8 @@ impl Fft1d {
                 let (q2, q3) = q23.split_at_mut(m);
                 let mut tw = stage_tw.chunks_exact(3);
                 for t in 0..m {
+                    // PANIC: stage_tw holds exactly 3*m twiddles, so the
+                    // chunks_exact(3) iterator yields one triple per t < m.
                     let w = tw.next().expect("twiddle triple");
                     let u0 = q0[t];
                     let u1 = q1[t] * w[0];

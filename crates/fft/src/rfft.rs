@@ -126,6 +126,7 @@ impl RealFft2d {
     /// # Errors
     ///
     /// Returns [`FftError::SizeMismatch`] on buffer-length mismatch.
+    // lint: hot-path
     pub fn forward(
         &self,
         real: &[f32],
@@ -168,6 +169,7 @@ impl RealFft2d {
     /// # Errors
     ///
     /// Returns [`FftError::SizeMismatch`] on buffer-length mismatch.
+    // lint: hot-path
     pub fn inverse(
         &self,
         half: &mut [Complex],
@@ -213,6 +215,7 @@ impl RealFft2d {
     /// # Errors
     ///
     /// Returns [`FftError::SizeMismatch`] on buffer-length mismatch.
+    // lint: hot-path
     pub fn adjoint(
         &self,
         half: &mut [Complex],
@@ -256,6 +259,7 @@ impl RealFft2d {
     /// Untangles one packed row in place: on entry `row[0..m]` holds the
     /// half-length FFT `Z` of the packed samples; on exit `row[0..=m]` holds
     /// the real-input spectrum bins `X[0..=m]`.
+    // lint: hot-path
     fn untangle_row(&self, row: &mut [Complex]) {
         let m = self.width / 2;
         let z0 = row[0];
@@ -281,6 +285,7 @@ impl RealFft2d {
     /// Tangles one spectrum row in place: on entry `row[0..=m]` holds bins
     /// `X[0..=m]`; on exit `row[0..m]` holds the half-length sequence whose
     /// inverse FFT yields the packed real samples.
+    // lint: hot-path
     fn tangle_row(&self, row: &mut [Complex]) {
         let m = self.width / 2;
         // General (complex-boundary-safe) tangle so the adjoint path may feed

@@ -160,6 +160,7 @@ impl Discriminator {
         let grad_input = self.net.backward(grad_prob);
         let parts = grad_input.split_channels(&[1, 1]);
         let mut it = parts.into_iter();
+        // PANIC: split_channels(&[1, 1]) always yields exactly two parts.
         (it.next().expect("target grad"), it.next().expect("mask grad"))
     }
 

@@ -112,6 +112,7 @@ impl Generator {
     /// # Panics
     ///
     /// Panics when the spatial size disagrees with the generator.
+    // lint: hot-path
     pub fn forward_into(&mut self, targets: &Tensor, out: &mut Tensor, train: bool) {
         let (_, c, h, w) = targets.dims4();
         assert_eq!((c, h, w), (1, self.size, self.size), "generator input shape mismatch");
@@ -125,6 +126,7 @@ impl Generator {
     /// # Panics
     ///
     /// Panics when the spatial size disagrees with the generator.
+    // lint: hot-path
     pub fn infer_into(&mut self, targets: &Tensor, out: &mut Tensor) {
         self.forward_into(targets, out, false);
     }

@@ -246,6 +246,8 @@ impl Pretrainer {
     ///
     /// Panics if `config` fails [`PretrainConfig::validate`].
     pub fn new(generator: Generator, config: PretrainConfig) -> Self {
+        // PANIC: documented above — misconfiguration is a programming error
+        // at construction, not a runtime condition to recover from.
         config.validate().expect("invalid pre-training configuration");
         let opt = Sgd::new(config.lr, config.momentum);
         Pretrainer { generator, opt, config, step: 0, epoch: 0, cursor: 0 }

@@ -235,6 +235,8 @@ impl GanTrainer {
     /// Panics if `config` fails [`TrainConfig::validate`] or the networks
     /// disagree on spatial size.
     pub fn new(generator: Generator, discriminator: Discriminator, config: TrainConfig) -> Self {
+        // PANIC: documented above — misconfigured training is a programming
+        // error at construction, not a runtime condition to recover from.
         config.validate().expect("invalid training configuration");
         assert_eq!(
             generator.size(),
@@ -298,6 +300,7 @@ impl GanTrainer {
     /// three: the discriminator's fake-term backward replays the cached
     /// activations of the adversarial forward, which stay valid because
     /// the generator update in between touches only generator parameters.
+    // lint: hot-path
     pub fn train_step(&mut self, targets: &Tensor, ref_masks: &Tensor) -> StepStats {
         self.step += 1;
         let batch = targets.shape()[0] as f32;
@@ -408,6 +411,7 @@ impl GanTrainer {
         // discriminator weights *and* both optimizers' velocity, so
         // continued training does not take steps with momentum aimed at
         // the discarded final-step weights.
+        // PANIC: the is_none() branch above just recorded a checkpoint.
         let best = self.best.as_ref().expect("validation checkpoint recorded above");
         let report = best.report;
         self.generator.import_params(&best.generator)?;

@@ -120,9 +120,14 @@ impl Polygon {
         let xs = self.vertices.iter().map(|v| v.0);
         let ys = self.vertices.iter().map(|v| v.1);
         Rect {
+            // PANIC: Polygon::new rejects outlines with fewer than 4
+            // vertices, so the min/max iterators are never empty.
             x0: xs.clone().min().expect("nonempty"),
+            // PANIC: as above — the vertex iterator is never empty.
             x1: xs.max().expect("nonempty"),
+            // PANIC: as above — the vertex iterator is never empty.
             y0: ys.clone().min().expect("nonempty"),
+            // PANIC: as above — the vertex iterator is never empty.
             y1: ys.max().expect("nonempty"),
         }
     }
@@ -162,6 +167,7 @@ impl Polygon {
     /// Interior area.
     pub fn area(&self) -> i64 {
         self.scan_bands()
+            // PANIC: Polygon::new only accepts outlines scan_bands handles.
             .expect("validated at construction")
             .iter()
             .map(|(y0, y1, intervals)| {
@@ -174,6 +180,7 @@ impl Polygon {
     /// Decomposes the interior into non-overlapping horizontal rectangles,
     /// merging vertically where adjacent bands share intervals.
     pub fn to_rects(&self) -> Vec<Rect> {
+        // PANIC: Polygon::new only accepts outlines scan_bands handles.
         let bands = self.scan_bands().expect("validated at construction");
         let mut out: Vec<Rect> = Vec::new();
         // Active rectangles currently open for vertical merging.

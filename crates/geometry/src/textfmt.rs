@@ -101,6 +101,7 @@ pub fn parse_layout(text: &str) -> Result<Layout, ParseLayoutError> {
             continue;
         }
         let mut tokens = line.split_whitespace();
+        // PANIC: the line was checked non-empty above, so a token exists.
         let keyword = tokens.next().expect("nonempty line");
         let rest: Vec<&str> = tokens.collect();
         let syntax = |message: String| ParseLayoutError::Syntax { line: line_no, message };
@@ -164,7 +165,7 @@ fn parse_ints(tokens: &[&str]) -> Result<Vec<i64>, String> {
 ///
 /// Propagates I/O failures.
 pub fn write_layout<P: AsRef<Path>>(path: P, layout: &Layout) -> Result<(), ParseLayoutError> {
-    std::fs::write(path, layout_to_string(layout))?;
+    crate::io::write_atomic(path, layout_to_string(layout).as_bytes())?;
     Ok(())
 }
 

@@ -221,6 +221,8 @@ impl IltEngine {
     ///
     /// Panics if `config` fails [`IltConfig::validate`].
     pub fn new(model: LithoModel, config: IltConfig) -> Self {
+        // PANIC: documented above — misconfiguration is a programming error
+        // at construction, not a runtime condition to recover from.
         config.validate().expect("invalid ILT configuration");
         IltEngine { model, config }
     }

@@ -1,0 +1,100 @@
+//! `ganopc-lint` — dependency-free static enforcement of workspace
+//! invariants.
+//!
+//! The repo's hard-won invariants (zero-allocation hot paths, atomic
+//! artifact writes, cached env reads, a no-silent-panic policy, unsafe
+//! hygiene) used to live only in DESIGN.md and reviewers' heads. This
+//! crate turns them into machine-checked rules: a small hand-rolled
+//! lexer (`lexer`) feeds token-pattern rules (`rules`) that walk every
+//! workspace `src/` tree. `scripts/check.sh` fails on any finding.
+//!
+//! Diagnostics use a stable one-line format so tooling can diff runs:
+//!
+//! ```text
+//! rule:file:line: message
+//! ```
+//!
+//! See DESIGN.md §12 for the rule catalogue, the marker comment syntax
+//! (`// lint: hot-path`, `// ALLOC:`, `// PANIC:`, `// SAFETY:`), and
+//! the procedure for sanctioning a new call site.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{lint_source, Finding};
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lints every `.rs` file under the workspace root's `src/` trees
+/// (`src/` and `crates/*/src/`). Vendored dependencies (`vendor/`),
+/// build output (`target/`), and integration-test trees (`tests/`) are
+/// outside those roots and therefore never visited.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    let top = root.join("src");
+    if top.is_dir() {
+        collect_rs(&top, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> =
+            std::fs::read_dir(&crates)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        members.sort();
+        for member in members {
+            let src = member.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    for file in &files {
+        let source = std::fs::read_to_string(file)?;
+        let rel = rel_path(root, file);
+        findings.extend(lint_source(&rel, &source));
+    }
+    findings.sort();
+    Ok(findings)
+}
+
+/// Recursively gathers `.rs` files under `dir`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes, for stable diagnostics
+/// across platforms.
+fn rel_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+/// Walks upward from `start` to the directory whose `Cargo.toml`
+/// declares `[workspace]`. Falls back to `start` itself.
+pub fn find_workspace_root(start: &Path) -> PathBuf {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return start.to_path_buf();
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! `ganopc-lint` binary: lint the workspace, print one finding per line
+//! in the stable `rule:file:line: message` format, and exit non-zero on
+//! any diagnostic so `scripts/check.sh` can gate on it.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("ganopc-lint: cannot determine working directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = ganopc_lint::find_workspace_root(&cwd);
+    match ganopc_lint::lint_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            eprintln!("ganopc-lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("ganopc-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("ganopc-lint: io error while walking {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

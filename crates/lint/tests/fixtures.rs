@@ -1,0 +1,343 @@
+//! Fixture-based rule tests: one known-good and one known-bad snippet per
+//! rule, asserting the rule ID, file, and line of each diagnostic. The
+//! snippets live in string literals (this `tests/` tree is outside the
+//! `src/` roots the workspace walker visits, so they never self-flag).
+
+use ganopc_lint::rules::{
+    RULE_ATOMIC_WRITE, RULE_ENV_READ, RULE_HOT_PATH_ALLOC, RULE_PANIC_POLICY, RULE_UNSAFE_SAFETY,
+};
+use ganopc_lint::{lint_source, Finding};
+
+/// Asserts exactly one finding with the given coordinates.
+fn assert_single(findings: &[Finding], rule: &str, file: &str, line: u32) {
+    assert_eq!(findings.len(), 1, "expected exactly one finding, got {findings:#?}");
+    let f = &findings[0];
+    assert_eq!(f.rule, rule);
+    assert_eq!(f.file, file);
+    assert_eq!(f.line, line, "wrong line in {f}");
+}
+
+// --- rule 1: hot-path allocations ------------------------------------------
+
+#[test]
+fn allocation_in_marked_fn_is_flagged() {
+    let src = "\
+// lint: hot-path
+pub fn step(xs: &[f32]) -> Vec<f32> {
+    xs.iter().map(|x| x * 2.0).collect()
+}
+";
+    let findings = lint_source("crates/demo/src/lib.rs", src);
+    assert_single(&findings, RULE_HOT_PATH_ALLOC, "crates/demo/src/lib.rs", 3);
+    assert!(findings[0].message.contains(".collect()"), "{}", findings[0]);
+    assert!(findings[0].message.contains("`step`"), "{}", findings[0]);
+}
+
+#[test]
+fn unmarked_fn_may_allocate() {
+    let src = "\
+pub fn build(xs: &[f32]) -> Vec<f32> {
+    xs.to_vec()
+}
+";
+    assert!(lint_source("crates/demo/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn file_level_marker_covers_every_fn_and_cold_opts_out() {
+    let src = "\
+//! Module docs.
+// lint: hot-path
+
+pub fn inner(out: &mut [f32]) {
+    let boxed = Box::new(1.0f32);
+    out[0] = *boxed;
+}
+
+// lint: cold
+pub fn convenience() -> Vec<f32> {
+    vec![0.0; 4]
+}
+";
+    let findings = lint_source("crates/demo/src/hot.rs", src);
+    assert_single(&findings, RULE_HOT_PATH_ALLOC, "crates/demo/src/hot.rs", 5);
+    assert!(findings[0].message.contains("Box::new"), "{}", findings[0]);
+}
+
+#[test]
+fn alloc_comment_sanctions_and_constructors_are_exempt() {
+    let src = "\
+// lint: hot-path
+
+pub fn dispatch(xs: &[f32]) -> Vec<f32> {
+    // ALLOC: O(threads) job list, not O(data).
+    xs.iter().copied().collect()
+}
+
+pub fn new_scratch(n: usize) -> Vec<f32> {
+    vec![0.0; n]
+}
+";
+    assert!(lint_source("crates/demo/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn test_code_inside_hot_file_may_allocate() {
+    let src = "\
+// lint: hot-path
+
+pub fn step(out: &mut [f32]) {
+    out[0] += 1.0;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch() {
+        let v: Vec<u32> = (0..4).collect();
+        assert_eq!(v.len(), 4);
+    }
+}
+";
+    assert!(lint_source("crates/demo/src/lib.rs", src).is_empty());
+}
+
+// --- rule 2: atomic writes --------------------------------------------------
+
+#[test]
+fn stray_file_create_is_flagged() {
+    let src = "\
+use std::fs::File;
+
+pub fn dump(path: &str) -> std::io::Result<()> {
+    let _f = File::create(path)?;
+    Ok(())
+}
+";
+    let findings = lint_source("crates/demo/src/lib.rs", src);
+    assert_single(&findings, RULE_ATOMIC_WRITE, "crates/demo/src/lib.rs", 4);
+    assert!(findings[0].message.contains("File::create"), "{}", findings[0]);
+    assert!(findings[0].message.contains("write_atomic"), "{}", findings[0]);
+}
+
+#[test]
+fn fs_write_and_open_options_are_flagged() {
+    let src = "\
+pub fn dump(path: &str) -> std::io::Result<()> {
+    std::fs::write(path, b\"x\")?;
+    let _o = std::fs::OpenOptions::new();
+    Ok(())
+}
+";
+    let findings = lint_source("crates/demo/src/lib.rs", src);
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    assert_eq!((findings[0].rule, findings[0].line), (RULE_ATOMIC_WRITE, 2));
+    assert_eq!((findings[1].rule, findings[1].line), (RULE_ATOMIC_WRITE, 3));
+}
+
+#[test]
+fn geometry_io_is_the_sanctioned_writer() {
+    let src = "\
+pub fn write_atomic(path: &str, bytes: &[u8]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    std::io::Write::write_all(&mut f, bytes)
+}
+";
+    assert!(lint_source("crates/geometry/src/io.rs", src).is_empty());
+}
+
+#[test]
+fn file_create_in_test_code_is_fine() {
+    let src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_file() {
+        let _f = std::fs::File::create(\"/tmp/x\").unwrap();
+    }
+}
+";
+    assert!(lint_source("crates/demo/src/lib.rs", src).is_empty());
+}
+
+// --- rule 3: cached env reads -----------------------------------------------
+
+#[test]
+fn uncached_env_read_is_flagged() {
+    let src = "\
+pub fn threads() -> usize {
+    std::env::var(\"GANOPC_THREADS\").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+}
+";
+    let findings = lint_source("crates/demo/src/lib.rs", src);
+    // `.unwrap_or` is not `.unwrap`, so only the env rule fires.
+    assert_single(&findings, RULE_ENV_READ, "crates/demo/src/lib.rs", 2);
+    assert!(findings[0].message.contains("std::env::var"), "{}", findings[0]);
+}
+
+#[test]
+fn var_os_is_also_an_env_read() {
+    let src = "\
+pub fn dir() -> Option<std::path::PathBuf> {
+    std::env::var_os(\"GANOPC_CACHE_DIR\").map(Into::into)
+}
+";
+    let findings = lint_source("crates/demo/src/lib.rs", src);
+    assert_single(&findings, RULE_ENV_READ, "crates/demo/src/lib.rs", 2);
+    assert!(findings[0].message.contains("var_os"), "{}", findings[0]);
+}
+
+#[test]
+fn sanctioned_sites_may_read_env_through_a_oncelock() {
+    let src = "\
+static CAP: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+
+pub fn cap() -> usize {
+    *CAP.get_or_init(|| {
+        std::env::var(\"GANOPC_THREADS\").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+    })
+}
+";
+    for file in ["crates/nn/src/pool.rs", "crates/litho/src/cache.rs", "crates/bench/src/lib.rs"] {
+        assert!(lint_source(file, src).is_empty(), "{file} should be sanctioned");
+    }
+}
+
+#[test]
+fn one_shot_constructors_in_sanctioned_files_may_read_env() {
+    let src = "\
+pub fn from_env() -> bool {
+    std::env::var(\"GANOPC_SCALE\").as_deref() == Ok(\"paper\")
+}
+";
+    assert!(lint_source("crates/bench/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn reverting_the_oncelock_caching_re_flags_a_sanctioned_site() {
+    // The exact regression class PR 4 fixed in pool.rs: a per-call env
+    // read, no `get_or_init` in the enclosing fn.
+    let src = "\
+pub fn cap() -> usize {
+    std::env::var(\"GANOPC_THREADS\").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+}
+";
+    let findings = lint_source("crates/nn/src/pool.rs", src);
+    assert_single(&findings, RULE_ENV_READ, "crates/nn/src/pool.rs", 2);
+    assert!(findings[0].message.contains("get_or_init"), "{}", findings[0]);
+}
+
+// --- rule 4: panic policy ---------------------------------------------------
+
+#[test]
+fn unjustified_unwrap_is_flagged() {
+    let src = "\
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+";
+    let findings = lint_source("crates/demo/src/lib.rs", src);
+    assert_single(&findings, RULE_PANIC_POLICY, "crates/demo/src/lib.rs", 2);
+    assert!(findings[0].message.contains(".unwrap()"), "{}", findings[0]);
+}
+
+#[test]
+fn panic_comment_justifies_expect_and_panic_macro() {
+    let src = "\
+pub fn head(xs: &[u32]) -> u32 {
+    // PANIC: callers guarantee a non-empty slice.
+    *xs.first().expect(\"nonempty\")
+}
+
+pub fn boom(flag: bool) {
+    if flag {
+        // PANIC: debug-build guard, documented in DESIGN.md §12.
+        panic!(\"tripped\");
+    }
+}
+";
+    assert!(lint_source("crates/demo/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn multi_line_panic_justification_extends_to_the_call() {
+    let src = "\
+pub fn head(xs: &[u32]) -> u32 {
+    // PANIC: a justification long enough to wrap across two comment
+    // lines still sanctions the call directly below it.
+    *xs.first().unwrap()
+}
+";
+    assert!(lint_source("crates/demo/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn binaries_and_tests_may_unwrap() {
+    let src = "\
+pub fn main() {
+    run().unwrap();
+}
+
+fn run() -> Result<(), String> {
+    Ok(())
+}
+";
+    assert!(lint_source("crates/demo/src/main.rs", src).is_empty());
+    assert!(lint_source("crates/demo/src/bin/tool.rs", src).is_empty());
+    // The same code in a library file is flagged.
+    let findings = lint_source("crates/demo/src/lib.rs", src);
+    assert_single(&findings, RULE_PANIC_POLICY, "crates/demo/src/lib.rs", 2);
+}
+
+// --- rule 5: unsafe hygiene -------------------------------------------------
+
+#[test]
+fn bare_unsafe_block_is_flagged() {
+    let src = "\
+pub fn read(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+";
+    let findings = lint_source("crates/demo/src/lib.rs", src);
+    assert_single(&findings, RULE_UNSAFE_SAFETY, "crates/demo/src/lib.rs", 2);
+    assert!(findings[0].message.contains("SAFETY"), "{}", findings[0]);
+}
+
+#[test]
+fn safety_comment_satisfies_the_rule() {
+    let src = "\
+pub fn read(p: *const u32) -> u32 {
+    // SAFETY: callers pass a pointer derived from a live &u32.
+    unsafe { *p }
+}
+";
+    assert!(lint_source("crates/demo/src/lib.rs", src).is_empty());
+}
+
+// --- cross-cutting ----------------------------------------------------------
+
+#[test]
+fn forbidden_names_inside_strings_and_comments_are_ignored() {
+    let src = "\
+// File::create and std::env::var are discussed here only.
+pub fn describe() -> &'static str {
+    \"never calls File::create, fs::write, or .unwrap()\"
+}
+";
+    assert!(lint_source("crates/demo/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn display_format_is_stable() {
+    let src = "\
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+";
+    let findings = lint_source("crates/demo/src/lib.rs", src);
+    let line = findings[0].to_string();
+    assert!(
+        line.starts_with("panic-policy:crates/demo/src/lib.rs:2: "),
+        "unexpected diagnostic shape: {line}"
+    );
+}

@@ -12,6 +12,7 @@ use crate::socs::{SocsKernel, SocsKernels};
 use ganopc_fft::Complex;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
 
 /// Serializable image of a kernel stack.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -50,12 +51,44 @@ pub fn config_key(cfg: &OpticalConfig) -> u64 {
     h
 }
 
+/// Runtime cache-directory override installed by [`set_cache_dir`]
+/// (`None` = unset, fall through to the environment/default directory).
+static OVERRIDE: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Directory from `GANOPC_CACHE_DIR` / `<system temp>`, resolved once:
+/// `std::env::var_os` allocates an `OsString` and takes the process env
+/// lock, and [`default_cache_dir`] sits on every model-construction
+/// cache lookup (mirrors `pool::max_threads`).
+static ENV_DIR: OnceLock<PathBuf> = OnceLock::new();
+
 /// Default cache directory: `$GANOPC_CACHE_DIR` or
 /// `<system temp>/ganopc-kernel-cache`.
+///
+/// A [`set_cache_dir`] override wins; otherwise the environment variable
+/// is read **once** per process and the resolved path is cached.
 pub fn default_cache_dir() -> PathBuf {
-    std::env::var_os("GANOPC_CACHE_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| std::env::temp_dir().join("ganopc-kernel-cache"))
+    if let Ok(guard) = OVERRIDE.lock() {
+        if let Some(dir) = guard.as_ref() {
+            return dir.clone();
+        }
+    }
+    ENV_DIR
+        .get_or_init(|| {
+            std::env::var_os("GANOPC_CACHE_DIR")
+                .map(PathBuf::from)
+                .unwrap_or_else(|| std::env::temp_dir().join("ganopc-kernel-cache"))
+        })
+        .clone()
+}
+
+/// Overrides [`default_cache_dir`] for the whole process (`None` restores
+/// the environment/default directory). This is how tests redirect the
+/// cache at runtime, since the environment variable is only consulted
+/// once (mirrors `pool::set_max_threads`).
+pub fn set_cache_dir(dir: Option<PathBuf>) {
+    if let Ok(mut guard) = OVERRIDE.lock() {
+        *guard = dir;
+    }
 }
 
 fn cache_path(dir: &Path, key: u64) -> PathBuf {
@@ -116,7 +149,9 @@ fn decode(bytes: &[u8]) -> Option<StackImage> {
             .chunks_exact(8)
             .map(|c| {
                 (
+                    // PANIC: chunks_exact(8) yields exactly 8 bytes per chunk.
                     f32::from_le_bytes(c[0..4].try_into().expect("4 bytes")),
+                    // PANIC: chunks_exact(8) yields exactly 8 bytes per chunk.
                     f32::from_le_bytes(c[4..8].try_into().expect("4 bytes")),
                 )
             })
@@ -169,7 +204,9 @@ pub fn load_or_derive(cfg: &OpticalConfig, dir: &Path) -> SocsKernels {
     }
     let stack = SocsKernels::from_config(cfg);
     if std::fs::create_dir_all(dir).is_ok() {
-        let _ = std::fs::write(&path, encode(&to_image(cfg, &stack)));
+        // Atomic write: a crash mid-store must not leave a truncated blob
+        // that every later process re-reads, rejects, and rewrites.
+        let _ = ganopc_geometry::io::write_atomic(&path, &encode(&to_image(cfg, &stack)));
     }
     stack
 }
@@ -199,6 +236,20 @@ mod tests {
                 .iter()
                 .zip(b.kernels())
                 .all(|(x, y)| x.weight == y.weight && x.taps == y.taps)
+    }
+
+    #[test]
+    fn cache_dir_override_wins_then_restores() {
+        let dir = temp_dir("override");
+        set_cache_dir(Some(dir.clone()));
+        assert_eq!(default_cache_dir(), dir);
+        set_cache_dir(None);
+        // Back on the cached env/default resolution, which is stable for
+        // the life of the process.
+        let first = default_cache_dir();
+        assert_ne!(first, dir);
+        assert_eq!(first, default_cache_dir());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -133,6 +133,8 @@ pub fn eigendecompose(matrix: &SymMatrix, tol: f64, max_sweeps: usize) -> Vec<Ei
     let mut pairs: Vec<EigenPair> = (0..n)
         .map(|j| EigenPair { value: a.get(j, j), vector: (0..n).map(|i| v[i * n + j]).collect() })
         .collect();
+    // PANIC: Jacobi rotations of a finite symmetric matrix keep the
+    // diagonal finite, so eigenvalues are never NaN.
     pairs.sort_by(|x, y| y.value.partial_cmp(&x.value).expect("non-NaN eigenvalues"));
     pairs
 }

@@ -272,10 +272,12 @@ impl LithoModel {
 
     /// Packed half-spectrum of a real mask, reused across kernels. The
     /// returned buffer belongs to the arena; callers put it back when done.
+    // lint: hot-path
     fn mask_half(&self, mask: &Field) -> Vec<Complex> {
         let slen = self.rfft.spectrum_len();
         let mut out = self.arena.take_complex(slen);
         let mut scratch = self.arena.take_complex(slen);
+        // PANIC: buffers were sized from this plan two lines above.
         self.rfft.forward(mask.as_slice(), &mut out, &mut scratch).expect("planned size");
         self.arena.put_complex(scratch);
         out
@@ -284,12 +286,14 @@ impl LithoModel {
     /// One real component of a kernel convolution: `c2r(mask_half ⊙ comp)`.
     /// All working storage comes from (and returns to) the arena except the
     /// returned field, which the caller releases.
+    // lint: hot-path
     fn component_field(&self, mask_half: &[Complex], comp: &[Complex]) -> Vec<f32> {
         let slen = self.rfft.spectrum_len();
         let mut prod = self.arena.take_complex(slen);
         let mut scratch = self.arena.take_complex(slen);
         spectrum::mul_into(&mut prod, mask_half, comp);
         let mut out = self.arena.take_real(self.height * self.width);
+        // PANIC: buffers were sized from this plan a few lines above.
         self.rfft.inverse(&mut prod, &mut out, &mut scratch).expect("planned size");
         self.arena.put_complex(prod);
         self.arena.put_complex(scratch);
@@ -301,7 +305,10 @@ impl LithoModel {
     /// `None` where the kernel component vanishes. Kernels fan out over the
     /// shared worker pool (capped by `GANOPC_THREADS`); results come back in
     /// kernel order.
+    // lint: hot-path
     fn convolved_fields(&self, mask_half: &[Complex]) -> Vec<KernelFields> {
+        // ALLOC: tiny per-call job list (one entry per kernel, ~24) for pool
+        // dispatch; the field buffers themselves come from the arena.
         pool::run(self.spectra.iter().collect(), |(_, ks)| {
             let p = ks.re_spectrum().map(|r| self.component_field(mask_half, r));
             let q = ks.im_spectrum().map(|i| self.component_field(mask_half, i));
@@ -311,6 +318,7 @@ impl LithoModel {
 
     /// Accumulates `Σ_k w_k (p_k² + q_k²)` into `intensity`, serially in
     /// kernel order so the result does not depend on the worker count.
+    // lint: hot-path
     fn accumulate_intensity(&self, fields: &[KernelFields], intensity: &mut [f32]) {
         for ((w, _), (p, q)) in self.spectra.iter().zip(fields) {
             for comp in [p, q].into_iter().flatten() {
@@ -344,6 +352,7 @@ impl LithoModel {
     /// Panics if `mask` does not match the model frame (use
     /// [`LithoModel::try_aerial_image`] for a fallible variant).
     pub fn aerial_image(&self, mask: &Field) -> Field {
+        // PANIC: documented above — the fallible variant is try_aerial_image.
         self.try_aerial_image(mask).expect("mask shape mismatch")
     }
 
@@ -430,6 +439,7 @@ impl LithoModel {
         let n = self.height * self.width;
         let mut grad = vec![0.0f32; n];
         let (error, captured) = self.gradient_core(mask, target, dose, &mut grad, true)?;
+        // PANIC: gradient_core always captures when want_fields is true.
         let (intensity, z) = captured.expect("fields requested");
         Ok(GradientResult {
             grad: Field::from_vec(self.height, self.width, grad),
@@ -451,6 +461,7 @@ impl LithoModel {
     /// Returns [`LithoError::ShapeMismatch`] when `mask`/`target` disagree
     /// with the frame and [`LithoError::Fft`] when `grad` has the wrong
     /// length.
+    // lint: hot-path
     pub fn gradient_into(
         &self,
         mask: &Field,
@@ -475,6 +486,7 @@ impl LithoModel {
     /// also returns `(intensity, z)` as fresh vectors for the caller to wrap
     /// into [`Field`]s, otherwise those intermediates live and die in the
     /// arena.
+    // lint: hot-path
     #[allow(clippy::type_complexity)]
     fn gradient_core(
         &self,
@@ -496,8 +508,11 @@ impl LithoModel {
 
         // Aerial image and relaxed wafer `Z = σ(α(dose·I − I_th))`, plus the
         // error and the chain factor g = 2α·dose (Z − Z_t) ⊙ Z ⊙ (1 − Z).
+        // ALLOC: want_fields is the cold debug/reporting branch — it hands the
+        // buffers to the caller, so they cannot come from the arena.
         let mut intensity = if want_fields { vec![0.0f32; n] } else { self.arena.take_real(n) };
         self.accumulate_intensity(&fields, &mut intensity);
+        // ALLOC: same want_fields escape hatch as `intensity` above.
         let mut z = if want_fields { vec![0.0f32; n] } else { self.arena.take_real(n) };
         let mut g = self.arena.take_real(n);
         let alpha = self.sigmoid_alpha;
@@ -524,6 +539,8 @@ impl LithoModel {
         // on how many workers ran.
         let g_ref = &g;
         let jobs: Vec<(&KernelSpectrum, (Option<Vec<f32>>, Option<Vec<f32>>))> =
+            // ALLOC: tiny per-call job list (one entry per kernel) pairing each
+            // kernel spectrum with its convolved fields for pool dispatch.
             self.spectra.iter().map(|(_, ks)| ks).zip(fields).collect();
         let per_kernel = pool::run(jobs, |(ks, (p, q))| {
             let mut w_spec = self.arena.take_complex(slen);
@@ -536,6 +553,7 @@ impl LithoModel {
                 for ((ui, &fi), &gi) in u.iter_mut().zip(field.iter()).zip(g_ref.iter()) {
                     *ui = gi * fi;
                 }
+                // PANIC: buffers were sized from this plan above.
                 self.rfft.forward(&u, &mut tmp, &mut scratch).expect("planned size");
                 if wrote {
                     spectrum::mul_conj_add_into(&mut w_spec, &tmp, half);
@@ -550,6 +568,7 @@ impl LithoModel {
             self.arena.put_complex(tmp);
             let out = if wrote {
                 let mut gk = u; // reuse as the real output buffer
+                                // PANIC: buffers were sized from this plan above.
                 self.rfft.inverse(&mut w_spec, &mut gk, &mut scratch).expect("planned size");
                 Some(gk)
             } else {

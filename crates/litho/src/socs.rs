@@ -44,6 +44,8 @@ impl SocsKernels {
     ///
     /// Panics if `cfg` fails [`OpticalConfig::validate`].
     pub fn from_config(cfg: &OpticalConfig) -> Self {
+        // PANIC: documented above — misconfiguration is a programming error
+        // at construction, not a runtime condition to recover from.
         cfg.validate().expect("invalid optical configuration");
         let dec = tcc::decompose(cfg);
         let ksize = cfg.kernel_size;

@@ -186,6 +186,8 @@ impl MbOpcEngine {
     ///
     /// Panics if `config` fails [`MbOpcConfig::validate`].
     pub fn new(model: LithoModel, config: MbOpcConfig) -> Self {
+        // PANIC: documented above — misconfiguration is a programming error
+        // at construction, not a runtime condition to recover from.
         config.validate().expect("invalid model-based OPC configuration");
         MbOpcEngine { model, config }
     }

@@ -63,7 +63,6 @@
 use crate::Tensor;
 use std::error::Error;
 use std::fmt;
-use std::io::Read;
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"GANOPCKP";
@@ -95,6 +94,17 @@ pub enum CheckpointError {
     Section(String),
     /// Underlying I/O failure.
     Io(std::io::Error),
+    /// I/O failure on a specific checkpoint file: carries the path and
+    /// operation so a full disk or permission error mid-training reports
+    /// *which* file failed and why instead of a bare os error.
+    File {
+        /// What was being done to the file (`"write"` / `"read"`).
+        op: &'static str,
+        /// The checkpoint path involved.
+        path: std::path::PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -111,6 +121,9 @@ impl fmt::Display for CheckpointError {
             }
             CheckpointError::Section(msg) => write!(f, "checkpoint section error: {msg}"),
             CheckpointError::Io(e) => write!(f, "i/o failure: {e}"),
+            CheckpointError::File { op, path, source } => {
+                write!(f, "cannot {op} checkpoint {}: {source}", path.display())
+            }
         }
     }
 }
@@ -119,6 +132,7 @@ impl Error for CheckpointError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CheckpointError::Io(e) => Some(e),
+            CheckpointError::File { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -194,14 +208,17 @@ impl<'a> Cursor<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, CheckpointError> {
+        // PANIC: take(2) returned exactly 2 bytes or erred above.
         Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
     }
 
     fn u32(&mut self) -> Result<u32, CheckpointError> {
+        // PANIC: take(4) returned exactly 4 bytes or erred above.
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
     }
 
     fn u64(&mut self) -> Result<u64, CheckpointError> {
+        // PANIC: take(8) returned exactly 8 bytes or erred above.
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 }
@@ -267,6 +284,7 @@ fn decode_tensor_list(cur: &mut Cursor<'_>) -> Result<Vec<Tensor>, CheckpointErr
         let raw = cur.take(4 * len)?;
         let data: Vec<f32> = raw
             .chunks_exact(4)
+            // PANIC: chunks_exact(4) yields exactly 4 bytes per chunk.
             .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
             .collect();
         tensors.push(Tensor::from_vec(&shape, data));
@@ -316,18 +334,23 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Vec<Tensor>, CheckpointError> {
 /// Propagates I/O failures; a failure never leaves a truncated file at
 /// `path`.
 pub fn save<P: AsRef<Path>>(path: P, tensors: &[Tensor]) -> Result<(), CheckpointError> {
-    ganopc_geometry::io::write_atomic(path, &to_bytes(tensors))?;
-    Ok(())
+    let path = path.as_ref();
+    ganopc_geometry::io::write_atomic(path, &to_bytes(tensors))
+        .map_err(|source| CheckpointError::File { op: "write", path: path.to_path_buf(), source })
 }
 
 /// Reads a v1 snapshot from a file.
 ///
 /// # Errors
 ///
-/// Propagates I/O failures and format errors.
+/// Propagates I/O failures (reported with the path) and format errors.
 pub fn load<P: AsRef<Path>>(path: P) -> Result<Vec<Tensor>, CheckpointError> {
-    let mut bytes = Vec::new();
-    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|source| CheckpointError::File {
+        op: "read",
+        path: path.to_path_buf(),
+        source,
+    })?;
     from_bytes(&bytes)
 }
 
@@ -604,6 +627,8 @@ impl Checkpoint {
             return Err(CheckpointError::Truncated("no room for crc trailer".into()));
         }
         let body_end = bytes.len() - 4;
+        // PANIC: bytes.len() >= 20 was checked above, so the trailer slice
+        // is exactly 4 bytes.
         let stored = u32::from_le_bytes(bytes[body_end..].try_into().expect("4 bytes"));
         let computed = crc32(&bytes[..body_end]);
         if stored != computed {
@@ -686,18 +711,24 @@ impl Checkpoint {
     ///
     /// Propagates I/O failures.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), CheckpointError> {
-        ganopc_geometry::io::write_atomic(path, &self.to_bytes())?;
-        Ok(())
+        let path = path.as_ref();
+        ganopc_geometry::io::write_atomic(path, &self.to_bytes()).map_err(|source| {
+            CheckpointError::File { op: "write", path: path.to_path_buf(), source }
+        })
     }
 
     /// Reads a container (either wire version) from a file.
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures and format errors.
+    /// Propagates I/O failures (reported with the path) and format errors.
     pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, CheckpointError> {
-        let mut bytes = Vec::new();
-        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|source| CheckpointError::File {
+            op: "read",
+            path: path.to_path_buf(),
+            source,
+        })?;
         Checkpoint::from_bytes(&bytes)
     }
 }

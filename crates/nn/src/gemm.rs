@@ -30,6 +30,8 @@
 //! (the checked-in `.cargo/config.toml` builds with `-C target-cpu=native`);
 //! without it the libm fallback is slow but still correct.
 
+// lint: hot-path
+
 use crate::pool;
 use std::cell::RefCell;
 
@@ -74,6 +76,7 @@ thread_local! {
 /// # Panics
 ///
 /// Panics when the buffer sizes disagree with the dimensions.
+// lint: cold
 pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     let mut c = vec![0.0f32; m * n];
     matmul_into(&mut c, a, b, m, k, n);
@@ -85,6 +88,7 @@ pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
 /// # Panics
 ///
 /// Panics when the buffer sizes disagree with the dimensions.
+// lint: cold
 pub fn matmul_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     let mut c = vec![0.0f32; m * n];
     matmul_tn_into(&mut c, a, b, m, k, n);
@@ -96,6 +100,7 @@ pub fn matmul_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32>
 /// # Panics
 ///
 /// Panics when the buffer sizes disagree with the dimensions.
+// lint: cold
 pub fn matmul_nt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     let mut c = vec![0.0f32; m * n];
     matmul_nt_into(&mut c, a, b, m, k, n);
@@ -137,7 +142,13 @@ fn gemm(layout: Layout, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize,
             .chunks_mut(rows_per * n)
             .enumerate()
             .map(|(t, chunk)| (t * rows_per, chunk))
+            // ALLOC: O(threads) job list per parallel dispatch, not O(data);
+            // the serial steady-state path above allocates nothing.
             .collect();
+        pool::debug_assert_disjoint(
+            "gemm row split",
+            jobs.iter().map(|&(i_lo, ref chunk)| (i_lo * n, chunk.len())),
+        );
         pool::run(jobs, |(i_lo, chunk)| {
             let i_hi = i_lo + chunk.len() / n;
             with_pack(|pack| gemm_block(layout, a, b, m, k, n, i_lo, i_hi, 0, n, chunk, n, pack));
@@ -147,10 +158,22 @@ fn gemm(layout: Layout, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize,
         // back in stripe order (C is row-major, so column ranges of C are
         // not expressible as disjoint `&mut` slices).
         let cols_per = n.div_ceil(threads).div_ceil(NR) * NR;
-        let ranges: Vec<(usize, usize)> =
-            (0..n).step_by(cols_per).map(|j| (j, (j + cols_per).min(n))).collect();
+        let ranges: Vec<(usize, usize)> = (0..n)
+            .step_by(cols_per)
+            .map(|j| (j, (j + cols_per).min(n)))
+            // ALLOC: O(threads) stripe ranges per parallel dispatch (×2 for
+            // the clone handed to the pool); the serial path allocates nothing.
+            .collect();
+        pool::debug_assert_disjoint(
+            "gemm column split",
+            ranges.iter().map(|&(j_lo, j_hi)| (j_lo, j_hi - j_lo)),
+        );
+
+        // ALLOC: see stripe ranges above — O(threads) per dispatch.
         let stripes = pool::run(ranges.clone(), |(j_lo, j_hi)| {
             let width = j_hi - j_lo;
+            // ALLOC: per-worker stripe of C; column splits cannot hand out
+            // disjoint &mut slices of the row-major output.
             let mut local = vec![0.0f32; m * width];
             with_pack(|pack| {
                 gemm_block(layout, a, b, m, k, n, 0, m, j_lo, j_hi, &mut local, width, pack)

@@ -47,6 +47,7 @@ macro_rules! activation_layer {
                 grad_in
             }
 
+            // lint: hot-path
             fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, _train: bool) {
                 let fwd: fn(f32) -> f32 = $fwd;
                 out.resize(input.shape());
@@ -56,7 +57,9 @@ macro_rules! activation_layer {
                 cache_output(&mut self.cache, out);
             }
 
+            // lint: hot-path
             fn backward_into(&mut self, grad_out: &Tensor, grad_in: Option<&mut Tensor>) {
+                // PANIC: Layer contract — backward runs only after forward cached state.
                 let cached = self.cache.as_ref().expect("backward before forward");
                 assert_eq!(cached.shape(), grad_out.shape(), "activation grad shape mismatch");
                 let bwd: fn(f32) -> f32 = $bwd;
@@ -73,6 +76,7 @@ macro_rules! activation_layer {
                 }
             }
 
+            // lint: hot-path
             fn forward_inplace(&mut self, x: &mut Tensor, _train: bool) -> bool {
                 let fwd: fn(f32) -> f32 = $fwd;
                 for v in x.as_mut_slice() {
@@ -82,7 +86,9 @@ macro_rules! activation_layer {
                 true
             }
 
+            // lint: hot-path
             fn backward_inplace(&mut self, g: &mut Tensor) -> bool {
+                // PANIC: Layer contract — backward runs only after forward cached state.
                 let cached = self.cache.as_ref().expect("backward before forward");
                 assert_eq!(cached.shape(), g.shape(), "activation grad shape mismatch");
                 let bwd: fn(f32) -> f32 = $bwd;
@@ -164,6 +170,7 @@ impl Layer for LeakyRelu {
         grad_in
     }
 
+    // lint: hot-path
     fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, _train: bool) {
         let s = self.slope;
         out.resize(input.shape());
@@ -173,11 +180,13 @@ impl Layer for LeakyRelu {
         cache_output(&mut self.cache, out);
     }
 
+    // lint: hot-path
     fn backward_into(&mut self, grad_out: &Tensor, grad_in: Option<&mut Tensor>) {
         // Scaling by a slope in [0, 1) preserves the sign of negative
         // inputs (and maps them to ±0 for slope 0), so `y > 0 ⟺ x > 0`
         // and the cached output decides the branch exactly as the input
         // would have.
+        // PANIC: Layer contract — backward runs only after forward cached state.
         let cached = self.cache.as_ref().expect("backward before forward");
         assert_eq!(cached.shape(), grad_out.shape(), "activation grad shape mismatch");
         let s = self.slope;
@@ -191,6 +200,7 @@ impl Layer for LeakyRelu {
         }
     }
 
+    // lint: hot-path
     fn forward_inplace(&mut self, x: &mut Tensor, _train: bool) -> bool {
         let s = self.slope;
         for v in x.as_mut_slice() {
@@ -202,7 +212,9 @@ impl Layer for LeakyRelu {
         true
     }
 
+    // lint: hot-path
     fn backward_inplace(&mut self, g: &mut Tensor) -> bool {
+        // PANIC: Layer contract — backward runs only after forward cached state.
         let cached = self.cache.as_ref().expect("backward before forward");
         assert_eq!(cached.shape(), g.shape(), "activation grad shape mismatch");
         let s = self.slope;

@@ -72,6 +72,7 @@ impl Layer for BatchNorm2d {
         grad_in
     }
 
+    // lint: hot-path
     fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
         let (n, c, h, w) = input.dims4();
         assert_eq!(c, self.channels, "BatchNorm2d expects {} channels, got {c}", self.channels);
@@ -80,8 +81,11 @@ impl Layer for BatchNorm2d {
         out.resize(&[n, c, h, w]);
         // Reuse the persistent normalized-input / 1/σ cache across steps.
         if self.cache.is_none() {
+            // ALLOC: one-time cache init on the first forward; the inner
+            // buffers are resized in place on every later step.
             self.cache = Some((Tensor::zeros(&[1]), Vec::new()));
         }
+        // PANIC: the cache was unconditionally initialized just above.
         let (xhat, inv_stds) = self.cache.as_mut().expect("cache initialized above");
         xhat.resize(&[n, c, h, w]);
         inv_stds.clear();
@@ -128,7 +132,9 @@ impl Layer for BatchNorm2d {
         }
     }
 
+    // lint: hot-path
     fn backward_into(&mut self, grad_out: &Tensor, mut grad_in: Option<&mut Tensor>) {
+        // PANIC: Layer contract — backward runs only after forward cached state.
         let (xhat, inv_stds) = self.cache.as_ref().expect("backward before forward");
         let (n, c, h, w) = grad_out.dims4();
         let plane = h * w;

@@ -128,6 +128,7 @@ impl Layer for Conv2d {
         grad_in
     }
 
+    // lint: hot-path
     fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, _train: bool) {
         let (n, c, h, w) = input.dims4();
         assert_eq!(c, self.in_ch, "Conv2d expects {} input channels, got {c}", self.in_ch);
@@ -160,7 +161,9 @@ impl Layer for Conv2d {
         self.cache_in_shape = Some((n, c, h, w));
     }
 
+    // lint: hot-path
     fn backward_into(&mut self, grad_out: &Tensor, grad_in: Option<&mut Tensor>) {
+        // PANIC: Layer contract — backward runs only after forward cached state.
         let (n, c, h, w) = self.cache_in_shape.expect("backward before forward");
         let (gn, gc, oh, ow) = grad_out.dims4();
         assert_eq!((gn, gc), (n, self.out_ch), "grad_out batch/channel mismatch");
@@ -327,6 +330,7 @@ impl Layer for ConvTranspose2d {
         grad_in
     }
 
+    // lint: hot-path
     fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, _train: bool) {
         let (n, c, ih, iw) = input.dims4();
         assert_eq!(c, self.in_ch, "ConvTranspose2d expects {} channels, got {c}", self.in_ch);
@@ -364,11 +368,15 @@ impl Layer for ConvTranspose2d {
         });
         match &mut self.cache_input {
             Some(t) => t.copy_from(input),
+            // ALLOC: one-time cache init on the first forward; later
+            // steps reuse the buffer via copy_from.
             None => self.cache_input = Some(input.clone()),
         }
     }
 
+    // lint: hot-path
     fn backward_into(&mut self, grad_out: &Tensor, grad_in: Option<&mut Tensor>) {
+        // PANIC: Layer contract — backward runs only after forward cached state.
         let input = self.cache_input.as_ref().expect("backward before forward");
         let (n, c, ih, iw) = input.dims4();
         let (_gn, _gc, oh, ow) = grad_out.dims4();

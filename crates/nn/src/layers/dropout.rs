@@ -79,6 +79,7 @@ impl Layer for Dropout {
         grad_in
     }
 
+    // lint: hot-path
     fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
         if !train || self.p == 0.0 {
             self.mask_active = false;
@@ -92,6 +93,7 @@ impl Layer for Dropout {
         }
     }
 
+    // lint: hot-path
     fn backward_into(&mut self, grad_out: &Tensor, grad_in: Option<&mut Tensor>) {
         let Some(gi) = grad_in else { return };
         if !self.mask_active {
@@ -105,6 +107,7 @@ impl Layer for Dropout {
         }
     }
 
+    // lint: hot-path
     fn forward_inplace(&mut self, x: &mut Tensor, train: bool) -> bool {
         if !train || self.p == 0.0 {
             self.mask_active = false;
@@ -117,6 +120,7 @@ impl Layer for Dropout {
         true
     }
 
+    // lint: hot-path
     fn backward_inplace(&mut self, g: &mut Tensor) -> bool {
         if !self.mask_active {
             return true;

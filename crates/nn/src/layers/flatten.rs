@@ -46,17 +46,21 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // PANIC: Layer contract — backward runs only after forward cached state.
         let shape = self.cache_shape.as_ref().expect("backward before forward");
         grad_out.clone().reshape(shape)
     }
 
+    // lint: hot-path
     fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, _train: bool) {
         let (n, rest) = self.cache(input.shape());
         out.resize(&[n, rest]);
         out.as_mut_slice().copy_from_slice(input.as_slice());
     }
 
+    // lint: hot-path
     fn backward_into(&mut self, grad_out: &Tensor, grad_in: Option<&mut Tensor>) {
+        // PANIC: Layer contract — backward runs only after forward cached state.
         let shape = self.cache_shape.as_ref().expect("backward before forward");
         if let Some(gi) = grad_in {
             gi.resize(shape);
@@ -64,13 +68,16 @@ impl Layer for Flatten {
         }
     }
 
+    // lint: hot-path
     fn forward_inplace(&mut self, x: &mut Tensor, _train: bool) -> bool {
         let (n, rest) = self.cache(x.shape());
         x.set_shape(&[n, rest]);
         true
     }
 
+    // lint: hot-path
     fn backward_inplace(&mut self, g: &mut Tensor) -> bool {
+        // PANIC: Layer contract — backward runs only after forward cached state.
         let shape = self.cache_shape.as_ref().expect("backward before forward");
         g.set_shape(shape);
         true

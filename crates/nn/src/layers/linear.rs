@@ -58,6 +58,7 @@ impl Layer for Linear {
         grad_in
     }
 
+    // lint: hot-path
     fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, _train: bool) {
         let (n, f) = input.dims2();
         assert_eq!(f, self.in_features, "Linear expects {} features, got {f}", self.in_features);
@@ -78,11 +79,15 @@ impl Layer for Linear {
         }
         match &mut self.cache_input {
             Some(t) => t.copy_from(input),
+            // ALLOC: one-time cache init on the first forward; later
+            // steps reuse the buffer via copy_from.
             None => self.cache_input = Some(input.clone()),
         }
     }
 
+    // lint: hot-path
     fn backward_into(&mut self, grad_out: &Tensor, grad_in: Option<&mut Tensor>) {
+        // PANIC: Layer contract — backward runs only after forward cached state.
         let input = self.cache_input.as_ref().expect("backward before forward");
         let (n, _) = input.dims2();
         let (gn, go) = grad_out.dims2();

@@ -47,6 +47,7 @@ impl Layer for AvgPool2d {
         grad_in
     }
 
+    // lint: hot-path
     fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, _train: bool) {
         let (n, c, h, w) = input.dims4();
         let oh = conv_out_size(h, self.k, self.k, 0);
@@ -74,7 +75,9 @@ impl Layer for AvgPool2d {
         self.cache_in_shape = Some((n, c, h, w));
     }
 
+    // lint: hot-path
     fn backward_into(&mut self, grad_out: &Tensor, grad_in: Option<&mut Tensor>) {
+        // PANIC: Layer contract — backward runs only after forward cached state.
         let (n, c, h, w) = self.cache_in_shape.expect("backward before forward");
         // No parameters, so the discard path has no work at all.
         let Some(grad_in) = grad_in else { return };

@@ -34,6 +34,7 @@
 
 pub mod checkpoint;
 pub mod gemm;
+pub mod guard;
 pub mod init;
 pub mod layers;
 pub mod loss;

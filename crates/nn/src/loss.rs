@@ -5,7 +5,7 @@
 //! (squared error) term pulling generated masks toward the reference masks.
 //! Both pieces live here as `(value, gradient)` pairs.
 
-use crate::Tensor;
+use crate::{guard, Tensor};
 
 /// Mean squared error `Σ (a − b)² / N` and its gradient with respect to `a`.
 ///
@@ -35,6 +35,7 @@ pub fn mse(a: &Tensor, b: &Tensor) -> (f64, Tensor) {
             2.0 * d / n as f32
         })
         .collect();
+    guard::check_finite_scalar("mse loss", value / n);
     (value / n, Tensor::from_vec(a.shape(), grad))
 }
 
@@ -54,6 +55,7 @@ pub fn sum_squared_error(a: &Tensor, b: &Tensor) -> (f64, Tensor) {
             2.0 * d
         })
         .collect();
+    guard::check_finite_scalar("sse loss", value);
     (value, Tensor::from_vec(a.shape(), grad))
 }
 
@@ -74,6 +76,8 @@ pub fn sum_squared_error_acc_into(a: &Tensor, b: &Tensor, scale: f32, grad: &mut
         value += (d as f64) * (d as f64);
         *g += (2.0 * d) * scale;
     }
+    guard::check_finite_scalar("sse loss", value);
+    guard::check_finite_slice("sse gradient", grad.as_slice());
     value
 }
 
@@ -112,6 +116,7 @@ pub fn bce_scalar_label(p: &Tensor, label: f32) -> (f64, Tensor) {
             }
         })
         .collect();
+    guard::check_finite_scalar("bce loss", value / n);
     (value / n, Tensor::from_vec(p.shape(), grad))
 }
 
@@ -139,6 +144,8 @@ pub fn bce_scalar_label_into(p: &Tensor, label: f32, scale: f32, grad: &mut Tens
         };
         *g = base * scale;
     }
+    guard::check_finite_scalar("bce loss", value / n);
+    guard::check_finite_slice("bce gradient", grad.as_slice());
     value / n
 }
 
@@ -232,6 +239,25 @@ mod tests {
                 assert_eq!(fused, g.scale(scale));
             }
         }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "non-finite sse gradient"))]
+    fn nan_injected_into_gradient_trips_loss_guard() {
+        // A NaN already sitting in the accumulator survives the `+=` and
+        // must be caught at the loss boundary, not discovered steps later.
+        let a = Tensor::from_vec(&[3], vec![0.5, -0.2, 0.8]);
+        let b = Tensor::zeros(&[3]);
+        let mut grad = Tensor::from_vec(&[3], vec![0.0, f32::NAN, 0.0]);
+        let _ = sum_squared_error_acc_into(&a, &b, 1.0, &mut grad);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "non-finite sse loss"))]
+    fn nan_input_trips_loss_value_guard() {
+        let a = Tensor::from_vec(&[2], vec![f32::NAN, 0.0]);
+        let b = Tensor::zeros(&[2]);
+        let _ = sum_squared_error(&a, &b);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! [`Sequential::visit_params`]: crate::layers::Sequential::visit_params
 
 use crate::layers::Sequential;
-use crate::Tensor;
+use crate::{guard, Tensor};
 
 /// Copies `src` into `out[idx]`, reusing the slot's allocation when one
 /// exists (snapshots keep stable shapes, so steady state never allocates).
@@ -119,6 +119,7 @@ impl Sgd {
                 p.value.shape(),
                 "optimizer state mismatch: was this optimizer used with another network?"
             );
+            guard::check_finite_slice("sgd gradient", p.grad.as_slice());
             for ((vi, &gi), wi) in
                 v.as_mut_slice().iter_mut().zip(p.grad.as_slice()).zip(p.value.as_mut_slice())
             {
@@ -236,6 +237,7 @@ impl Adam {
             let m = &mut ms[idx];
             let v = &mut vs[idx];
             assert_eq!(m.shape(), p.value.shape(), "optimizer state mismatch");
+            guard::check_finite_slice("adam gradient", p.grad.as_slice());
             // Single fused pass: moment updates, bias correction and the
             // weight step share one loop with no temporary tensors.
             for ((wi, &g), (mi, vi)) in p
@@ -319,6 +321,17 @@ mod tests {
         let mut any = false;
         net.visit_params(&mut |p| any |= p.grad.max_abs() > 0.0);
         assert!(any, "step must not clear gradients");
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "non-finite sgd gradient"))]
+    fn nan_gradient_trips_optimizer_guard() {
+        let mut net = Sequential::new();
+        net.push(Linear::new(1, 1, 0));
+        let y = net.forward(&Tensor::filled(&[1, 1], 1.0), true);
+        net.backward(&Tensor::filled(y.shape(), 1.0));
+        net.visit_params(&mut |p| p.grad.as_mut_slice()[0] = f32::NAN);
+        Sgd::new(0.1, 0.0).step(&mut net);
     }
 
     #[test]

@@ -118,11 +118,46 @@ where
             .collect();
         let mut out = Vec::with_capacity(total);
         for handle in handles {
+            // PANIC: deliberate propagation — a worker panic (a bug in the
+            // job closure) must surface on the caller, not be swallowed.
             out.extend(handle.join().expect("pool worker panicked"));
         }
         out
     })
+    // PANIC: deliberate propagation — see worker join above.
     .expect("pool scope panicked")
+}
+
+/// Debug-build race detector for partitioned parallel writes: asserts that
+/// the `(start, len)` index ranges of one shared buffer handed to [`run`]
+/// jobs as `&mut` chunks are pairwise disjoint. Two overlapping ranges mean
+/// two workers may write the same elements concurrently — undefined
+/// behaviour that safe code can only reach through an arithmetic slip in
+/// the chunking math, which is exactly what this catches. Compiles to
+/// nothing in release builds, so dispatch sites may call it unconditionally.
+///
+/// # Panics
+///
+/// Panics in debug builds when any two ranges overlap.
+pub fn debug_assert_disjoint<I>(site: &str, ranges: I)
+where
+    I: IntoIterator<Item = (usize, usize)>,
+{
+    if !cfg!(debug_assertions) {
+        return;
+    }
+    let mut sorted: Vec<(usize, usize)> = ranges.into_iter().collect();
+    sorted.sort_unstable();
+    for w in sorted.windows(2) {
+        let ((a0, a_len), (b0, _)) = (w[0], w[1]);
+        // PANIC: debug-build race detector — the whole point is to abort
+        // before overlapping &mut partitions reach the workers.
+        assert!(
+            a0 + a_len <= b0,
+            "{site}: overlapping parallel partition: [{a0}, {}) and [{b0}, ..)",
+            a0 + a_len,
+        );
+    }
 }
 
 /// Side-effect-only counterpart of [`run`]: executes `f` over `jobs` with
@@ -201,6 +236,21 @@ mod tests {
         for (i, &v) in data.iter().enumerate() {
             assert_eq!(v as usize, i / 16 + 1);
         }
+    }
+
+    #[test]
+    fn disjoint_partitions_pass() {
+        // Exact tiling, a gap, and out-of-order ranges are all fine.
+        debug_assert_disjoint("test", [(0, 16), (16, 16), (32, 16)]);
+        debug_assert_disjoint("test", [(48, 8), (0, 16), (20, 4)]);
+        debug_assert_disjoint("test", [(0, 0), (0, 4)]); // empty range
+        debug_assert_disjoint("test", []);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "overlapping parallel partition"))]
+    fn overlapping_partition_trips_checker() {
+        debug_assert_disjoint("test", [(0, 17), (16, 16)]);
     }
 
     #[test]

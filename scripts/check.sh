@@ -10,6 +10,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> ganopc-lint (workspace invariants)"
+cargo run --release -p ganopc-lint
+
 echo "==> cargo test -q"
 cargo test -q --workspace
 
