@@ -79,6 +79,50 @@ impl Arena {
         self.real.lock().expect("arena poisoned").push(buf);
     }
 
+    /// Ensures the freelist holds at least `count` complex buffers of
+    /// capacity `len`, allocating the shortfall up front (counted as fresh).
+    ///
+    /// Hot paths whose *peak concurrent* buffer usage depends on scheduling
+    /// (how many pool chunks happen to run simultaneously) call this with
+    /// their worst case so the warm state is reached deterministically
+    /// instead of only after the worst-case race has happened to occur.
+    // lint: hot-path
+    pub fn reserve_complex(&self, count: usize, len: usize) {
+        loop {
+            let have = {
+                // PANIC: see take_complex — the critical section cannot panic.
+                let list = self.complex.lock().expect("arena poisoned");
+                list.iter().filter(|b| b.capacity() >= len).count()
+            };
+            if have >= count {
+                return;
+            }
+            self.fresh.fetch_add(1, Ordering::Relaxed);
+            // ALLOC: deliberate pre-allocation outside the lock; steady-state
+            // calls find the freelist already full and allocate nothing.
+            self.put_complex(vec![Complex::ZERO; len]);
+        }
+    }
+
+    /// Real-buffer counterpart of [`Arena::reserve_complex`].
+    // lint: hot-path
+    pub fn reserve_real(&self, count: usize, len: usize) {
+        loop {
+            let have = {
+                // PANIC: see take_complex — the critical section cannot panic.
+                let list = self.real.lock().expect("arena poisoned");
+                list.iter().filter(|b| b.capacity() >= len).count()
+            };
+            if have >= count {
+                return;
+            }
+            self.fresh.fetch_add(1, Ordering::Relaxed);
+            // ALLOC: deliberate pre-allocation outside the lock; steady-state
+            // calls find the freelist already full and allocate nothing.
+            self.put_real(vec![0.0; len]);
+        }
+    }
+
     /// Number of freelist misses so far — takes that had to grow a fresh
     /// buffer instead of recycling one. Stable across calls once the arena
     /// is warm; the zero-allocation tests assert exactly that.

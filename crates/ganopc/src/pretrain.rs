@@ -172,41 +172,53 @@ fn run_steps(
     steps: usize,
 ) -> Result<Vec<PretrainStats>, GanOpcError> {
     let mut stats = Vec::with_capacity(steps);
-    // Persistent step buffers: the generated masks and the batch gradient
-    // are sized once and reused for every mini-batch.
+    // Persistent step buffers: the generated masks, the batch gradient and
+    // the per-sample error slots are sized once and reused for every
+    // mini-batch, so the steady-state loop performs no heap allocation.
     let mut masks = Tensor::zeros(&[1]);
     let mut grad = Tensor::zeros(&[1]);
+    let mut errors: Vec<Result<f64, GanOpcError>> = Vec::new();
     for _ in 0..steps {
         let indices = stream.next_batch(dataset, config.batch_size);
         let (targets, _) = dataset.batch(&indices);
         // Line 5: M ← G(Z_t).
         generator.forward_into(&targets, &mut masks, true);
         // Lines 6–8: litho-simulate each mask, collect ∂E/∂M. Samples are
-        // independent, so they fan out over the shared worker pool; each job
-        // writes its own slice of the batch gradient, and the batch error is
-        // reduced in sample order below so the result is identical for any
-        // `GANOPC_THREADS` setting.
+        // independent, so they fan out over the shared worker crew; each
+        // chunk writes its samples' slices of the batch gradient and error
+        // buffer, and the batch error is reduced in sample order below so
+        // the result is identical for any `GANOPC_THREADS` setting.
         let batch = indices.len();
         grad.resize(masks.shape());
         let plane = dataset.size() * dataset.size();
-        let jobs: Vec<(usize, usize, &mut [f32])> = indices
-            .iter()
-            .enumerate()
-            .zip(grad.as_mut_slice().chunks_mut(plane))
-            .map(|((bi, &di), gslice)| (bi, di, gslice))
-            .collect();
+        errors.clear();
+        errors.resize_with(batch, || Ok(0.0));
+        let gview = pool::DisjointMut::new(&mut grad.as_mut_slice()[..batch * plane]);
+        let eview = pool::DisjointMut::new(&mut errors[..batch]);
         let masks_ref = &masks;
-        let errors = pool::run(jobs, |(bi, di, gslice)| -> Result<f64, GanOpcError> {
-            let mask_field = tensor_to_field(masks_ref, bi);
-            // The allocation-free entry point zeroes this sample's slice of
-            // the batch gradient and writes ∂E/∂M straight into it; the
-            // aerial and wafer images it would otherwise build are never
-            // needed here.
-            Ok(model.gradient_into(&mask_field, &dataset.targets()[di], 1.0, gslice)?)
+        let indices_ref = &indices;
+        pool::run_chunks(batch, |samples| {
+            for bi in samples {
+                let di = indices_ref[bi];
+                let mask_field = tensor_to_field(masks_ref, bi);
+                // SAFETY: run_chunks sample ranges partition 0..batch, so
+                // each `bi` (and hence each gradient plane and error slot)
+                // is visited by exactly one chunk.
+                let gslice = unsafe { gview.slice_mut(bi * plane..(bi + 1) * plane) };
+                // The allocation-free entry point zeroes this sample's slice
+                // of the batch gradient and writes ∂E/∂M straight into it;
+                // the aerial and wafer images it would otherwise build are
+                // never needed here.
+                let err = model
+                    .gradient_into(&mask_field, &dataset.targets()[di], 1.0, gslice)
+                    .map_err(GanOpcError::from);
+                // SAFETY: as above — sample ranges are disjoint.
+                *unsafe { eview.index_mut(bi) } = err;
+            }
         });
         let mut err_total = 0.0f64;
-        for err in errors {
-            err_total += err?;
+        for err in &mut errors {
+            err_total += std::mem::replace(err, Ok(0.0))?;
         }
         // Line 10: W_g ← W_g − (λ/m)·ΔW_g, with the 1/m scale applied in
         // place and the unused input gradient skipped entirely.

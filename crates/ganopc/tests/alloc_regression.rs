@@ -7,8 +7,10 @@
 //! global allocator makes any regression an immediate test failure rather
 //! than a slow perf drift.
 //!
-//! The guarantee holds on the serial path only — the thread pool's parallel
-//! dispatch collects job lists — so the test pins the pool to one worker.
+//! The guarantee now covers the parallel path too: the persistent work-crew
+//! dispatches through a shared job descriptor and atomic chunk claims, with
+//! no job or result vectors, so after a warmup that spawns the crew and
+//! sizes per-worker scratch a 4-thread steady state is also allocation-free.
 //! This is the single test in this binary because both the allocator counter
 //! and the thread override are process-wide.
 
@@ -84,6 +86,31 @@ fn steady_state_training_and_inference_allocate_nothing() {
     }
     let delta = allocations() - before;
     assert_eq!(delta, 0, "infer_into allocated {delta} times after warmup");
+
+    // Parallel steady state: the work-crew hands chunks out through the
+    // shared descriptor, so beyond the warmup (which spawns the workers and
+    // sizes their thread-local scratch) a 4-way dispatch allocates nothing
+    // either.
+    ganopc_nn::pool::set_max_threads(Some(4));
+    for _ in 0..2 {
+        trainer.train_step(&targets, &refs);
+    }
+    let before = allocations();
+    for _ in 0..3 {
+        trainer.train_step(&targets, &refs);
+    }
+    let delta = allocations() - before;
+    assert_eq!(delta, 0, "train_step allocated {delta} times after warmup at 4 threads");
+
+    for _ in 0..2 {
+        g.infer_into(&targets, &mut out);
+    }
+    let before = allocations();
+    for _ in 0..3 {
+        g.infer_into(&targets, &mut out);
+    }
+    let delta = allocations() - before;
+    assert_eq!(delta, 0, "infer_into allocated {delta} times after warmup at 4 threads");
 
     ganopc_nn::pool::set_max_threads(None);
 }

@@ -31,8 +31,10 @@ fn training_stats_are_identical_for_any_thread_count() {
         trainer.train(&dataset)
     };
     let serial = with_threads(1, train);
+    let uneven = with_threads(3, train);
     let parallel = with_threads(4, train);
     assert_eq!(serial, parallel, "GanTrainer::train diverged across thread counts");
+    assert_eq!(serial, uneven, "GanTrainer::train diverged on an uneven worker split");
 
     // ILT-guided pre-training (Algorithm 2) exercises the litho-model pool
     // sites as well.
@@ -47,8 +49,10 @@ fn training_stats_are_identical_for_any_thread_count() {
         pretrain_generator(&mut generator, &litho, &dataset, &PretrainConfig::fast()).unwrap()
     };
     let serial = with_threads(1, pretrain);
+    let uneven = with_threads(3, pretrain);
     let parallel = with_threads(4, pretrain);
     assert_eq!(serial, parallel, "pretrain_generator diverged across thread counts");
+    assert_eq!(serial, uneven, "pretrain_generator diverged on an uneven worker split");
 
     // The spectral-engine hot paths directly: aerial image and the Eq. (14)
     // gradient on a 128-px frame must be bit-identical whether the Hopkins
@@ -78,10 +82,16 @@ fn training_stats_are_identical_for_any_thread_count() {
         (aerial, grad.error, grad.grad)
     };
     let (a1, e1, g1) = with_threads(1, litho_eval);
+    let (a3, e3, g3) = with_threads(3, litho_eval);
     let (a4, e4, g4) = with_threads(4, litho_eval);
     assert_eq!(e1.to_bits(), e4.to_bits(), "litho error diverged across thread counts");
     assert_eq!(a1.as_slice(), a4.as_slice(), "aerial image diverged across thread counts");
     assert_eq!(g1.as_slice(), g4.as_slice(), "Eq. (14) gradient diverged across thread counts");
+    // Three workers force ±1-sized chunk splits over the 8 Hopkins kernels;
+    // the serial kernel-order reduction must hide the uneven partition.
+    assert_eq!(e1.to_bits(), e3.to_bits(), "litho error diverged on an uneven worker split");
+    assert_eq!(a1.as_slice(), a3.as_slice(), "aerial image diverged on an uneven worker split");
+    assert_eq!(g1.as_slice(), g3.as_slice(), "Eq. (14) gradient diverged on an uneven split");
 
     // The batched no-grad fast path (`Generator::infer_into`) drives the
     // fused forward kernels through persistent buffers; it must be
@@ -96,10 +106,16 @@ fn training_stats_are_identical_for_any_thread_count() {
         out
     };
     let serial = with_threads(1, infer);
+    let uneven = with_threads(3, infer);
     let parallel = with_threads(4, infer);
     assert_eq!(
         serial.as_slice(),
         parallel.as_slice(),
         "Generator::infer_into diverged across thread counts"
+    );
+    assert_eq!(
+        serial.as_slice(),
+        uneven.as_slice(),
+        "Generator::infer_into diverged on an uneven worker split"
     );
 }

@@ -49,17 +49,22 @@ pub fn pvb_over_corners(models: &[&LithoModel], mask: &Field, dose_delta: f32) -
     let px = models[0].pixel_nm();
     let mut union = Field::zeros(shape.0, shape.1);
     let mut intersection = Field::filled(shape.0, shape.1, 1.0);
+    // One intensity buffer reused across every corner model.
+    let mut aerial = vec![0.0f32; shape.0 * shape.1];
     for model in models {
         assert_eq!(model.shape(), shape, "model frames disagree");
-        let aerial = model.aerial_image(mask);
+        // PANIC: the shape was asserted against this model one line above.
+        model.aerial_image_into(mask, &mut aerial).expect("frame mismatch");
+        let th = model.threshold();
         for dose in [1.0 - dose_delta, 1.0 + dose_delta] {
-            let th = model.threshold();
-            for i in 0..union.len() {
-                let on = dose * aerial.as_slice()[i] >= th;
-                if on {
-                    union.as_mut_slice()[i] = 1.0;
+            for (&i, (u, s)) in aerial
+                .iter()
+                .zip(union.as_mut_slice().iter_mut().zip(intersection.as_mut_slice().iter_mut()))
+            {
+                if dose * i >= th {
+                    *u = 1.0;
                 } else {
-                    intersection.as_mut_slice()[i] = 0.0;
+                    *s = 0.0;
                 }
             }
         }

@@ -29,6 +29,33 @@ pub struct GradientResult {
 /// numerically zero.
 type KernelFields = (Option<Vec<f32>>, Option<Vec<f32>>);
 
+thread_local! {
+    /// Per-thread slot list for per-kernel convolved fields. The slots are
+    /// reused across every aerial/gradient evaluation on this thread (the
+    /// field buffers themselves come from the model's arena), so the hot
+    /// paths materialize no per-call job or result vectors. Thread-local
+    /// because pre-training runs whole gradient evaluations concurrently on
+    /// pool workers, each needing its own slot list.
+    static FIELD_SLOTS: std::cell::RefCell<Vec<KernelFields>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with this thread's kernel-field slot list sized to `n` empty
+/// slots.
+fn with_field_slots<R>(n: usize, f: impl FnOnce(&mut Vec<KernelFields>) -> R) -> R {
+    FIELD_SLOTS.with(|cell| {
+        let mut slots = cell.borrow_mut();
+        slots.clear();
+        if slots.capacity() < n {
+            // ALLOC: one-time growth of the persistent per-thread slot list
+            // (one entry per SOCS kernel, ~24).
+            slots.reserve(n);
+        }
+        slots.resize_with(n, || (None, None));
+        f(&mut slots)
+    })
+}
+
 /// A planned lithography simulator for one frame size.
 ///
 /// Holds the SOCS kernel stack embedded as frame-sized packed half-spectra,
@@ -302,18 +329,25 @@ impl LithoModel {
 
     /// Per-kernel convolved fields `A_k = M ⊗ h_k` from a precomputed mask
     /// half-spectrum, split into real and imaginary parts `(p_k, q_k)` —
-    /// `None` where the kernel component vanishes. Kernels fan out over the
-    /// shared worker pool (capped by `GANOPC_THREADS`); results come back in
-    /// kernel order.
+    /// `None` where the kernel component vanishes. Kernel indices fan out
+    /// over the shared worker pool (capped by `GANOPC_THREADS`) through the
+    /// allocation-free [`pool::run_chunks`] path; slot `k` of `fields`
+    /// receives kernel `k`'s components, so downstream reductions walk the
+    /// slots in kernel order regardless of the worker count.
     // lint: hot-path
-    fn convolved_fields(&self, mask_half: &[Complex]) -> Vec<KernelFields> {
-        // ALLOC: tiny per-call job list (one entry per kernel, ~24) for pool
-        // dispatch; the field buffers themselves come from the arena.
-        pool::run(self.spectra.iter().collect(), |(_, ks)| {
-            let p = ks.re_spectrum().map(|r| self.component_field(mask_half, r));
-            let q = ks.im_spectrum().map(|i| self.component_field(mask_half, i));
-            (p, q)
-        })
+    fn convolved_fields_into(&self, mask_half: &[Complex], fields: &mut [KernelFields]) {
+        debug_assert_eq!(fields.len(), self.spectra.len());
+        let slots = pool::DisjointMut::new(fields);
+        pool::run_chunks(self.spectra.len(), |kernels| {
+            for ki in kernels {
+                let ks = &self.spectra[ki].1;
+                let p = ks.re_spectrum().map(|r| self.component_field(mask_half, r));
+                let q = ks.im_spectrum().map(|i| self.component_field(mask_half, i));
+                // SAFETY: run_chunks kernel ranges partition the slot list,
+                // so slot ki is written by exactly this chunk.
+                *unsafe { slots.index_mut(ki) } = (p, q);
+            }
+        });
     }
 
     /// Accumulates `Σ_k w_k (p_k² + q_k²)` into `intensity`, serially in
@@ -329,10 +363,10 @@ impl LithoModel {
         }
     }
 
-    /// Returns convolved-field buffers to the arena.
-    fn release_fields(&self, fields: Vec<KernelFields>) {
+    /// Returns convolved-field buffers to the arena, emptying the slots.
+    fn release_fields(&self, fields: &mut [KernelFields]) {
         for (p, q) in fields {
-            for comp in [p, q].into_iter().flatten() {
+            for comp in [p.take(), q.take()].into_iter().flatten() {
                 self.arena.put_real(comp);
             }
         }
@@ -343,6 +377,27 @@ impl LithoModel {
     /// zero-allocation regression tests assert on this.
     pub fn scratch_allocations(&self) -> usize {
         self.arena.fresh_allocations()
+    }
+
+    /// Reserves the worst-case concurrent scratch footprint in the arena.
+    ///
+    /// How many pool chunks run *simultaneously* (and therefore how many
+    /// transient FFT buffers are outstanding at once) depends on scheduling,
+    /// so warm-up calls alone cannot guarantee the freelist ever reaches its
+    /// high-water mark. Reserving the bound up front makes "warm arena
+    /// never misses" deterministic. Steady-state calls find the freelist
+    /// already full, so this is two short lock/scan sections per evaluation.
+    // lint: hot-path
+    fn prime_arena(&self) {
+        let kernels = self.spectra.len();
+        let lanes = if pool::in_worker() { 1 } else { pool::max_threads().min(kernels.max(1)) };
+        // Complex peak: the gradient stage holds 3 spectra per active chunk
+        // (w_spec/tmp/scratch); the convolve stage holds the mask spectrum
+        // plus 2 per chunk — 3·lanes covers both for lanes ≥ 1.
+        self.arena.reserve_complex(3 * lanes, self.rfft.spectrum_len());
+        // Real peak: 2 component fields per kernel + intensity/z/g + one
+        // per-chunk product buffer.
+        self.arena.reserve_real(2 * kernels + 3 + lanes, self.height * self.width);
     }
 
     /// Aerial image `I = Σ_k w_k |M ⊗ h_k|²` at nominal dose (Eq. (2)).
@@ -362,16 +417,42 @@ impl LithoModel {
     ///
     /// Returns [`LithoError::ShapeMismatch`] when `mask` has the wrong shape.
     pub fn try_aerial_image(&self, mask: &Field) -> Result<Field, LithoError> {
-        self.check_shape(mask)?;
-        let mask_half = self.mask_half(mask);
-        let fields = self.convolved_fields(&mask_half);
-        self.arena.put_complex(mask_half);
         // The intensity buffer is the returned Field's storage — the only
         // allocation on this path.
         let mut intensity = vec![0.0f32; self.height * self.width];
-        self.accumulate_intensity(&fields, &mut intensity);
-        self.release_fields(fields);
+        self.aerial_image_into(mask, &mut intensity)?;
         Ok(Field::from_vec(self.height, self.width, intensity))
+    }
+
+    /// Writes the aerial image into a caller-owned buffer (overwritten, not
+    /// accumulated). With a warm arena this performs zero heap allocation —
+    /// the entry point for PVB-metric callers that re-evaluate intensity per
+    /// process corner and for [`LithoModel::process_window`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::ShapeMismatch`] when `mask` has the wrong shape
+    /// and [`LithoError::Fft`] when `intensity` has the wrong length.
+    // lint: hot-path
+    pub fn aerial_image_into(&self, mask: &Field, intensity: &mut [f32]) -> Result<(), LithoError> {
+        self.check_shape(mask)?;
+        let n = self.height * self.width;
+        if intensity.len() != n {
+            return Err(LithoError::Fft(ganopc_fft::FftError::SizeMismatch {
+                expected: n,
+                actual: intensity.len(),
+            }));
+        }
+        self.prime_arena();
+        let mask_half = self.mask_half(mask);
+        with_field_slots(self.spectra.len(), |fields| {
+            self.convolved_fields_into(&mask_half, fields);
+            self.arena.put_complex(mask_half);
+            intensity.fill(0.0);
+            self.accumulate_intensity(fields, intensity);
+            self.release_fields(fields);
+        });
+        Ok(())
     }
 
     /// Binary wafer image at a given dose: `Z = [dose · I ≥ I_th]`
@@ -386,19 +467,35 @@ impl LithoModel {
         self.print(mask, 1.0)
     }
 
-    /// Prints at `1−δ`, `1`, `1+δ` dose — inputs to the PVB metric.
+    /// Prints at `1−δ`, `1`, `1+δ` dose — inputs to the PVB metric. One
+    /// aerial simulation and a single fused sweep writing all three dose
+    /// prints per element; the intensity lives in the arena, so the only
+    /// allocations are the three returned fields' storage.
     pub fn process_window(&self, mask: &Field) -> [Field; 3] {
-        let aerial = self.aerial_image(mask);
-        let mut out = [
-            Field::zeros(self.height, self.width),
-            Field::zeros(self.height, self.width),
-            Field::zeros(self.height, self.width),
-        ];
-        for (slot, dose) in out.iter_mut().zip([1.0 - self.dose_delta, 1.0, 1.0 + self.dose_delta])
+        let n = self.height * self.width;
+        let mut aerial = self.arena.take_real(n);
+        // PANIC: documented panic contract shared with aerial_image; the
+        // buffer was sized to the frame two lines above.
+        self.aerial_image_into(mask, &mut aerial).expect("mask shape mismatch");
+        let th = self.threshold;
+        let (lo, hi) = (1.0 - self.dose_delta, 1.0 + self.dose_delta);
+        // ALLOC: the three print buffers are the returned fields' storage.
+        let mut inner = vec![0.0f32; n];
+        let mut nominal = vec![0.0f32; n];
+        let mut outer = vec![0.0f32; n];
+        for (((&i, pi), pn), po) in
+            aerial.iter().zip(inner.iter_mut()).zip(nominal.iter_mut()).zip(outer.iter_mut())
         {
-            *slot = aerial.map(|i| if dose * i >= self.threshold { 1.0 } else { 0.0 });
+            *pi = if lo * i >= th { 1.0 } else { 0.0 };
+            *pn = if i >= th { 1.0 } else { 0.0 };
+            *po = if hi * i >= th { 1.0 } else { 0.0 };
         }
-        out
+        self.arena.put_real(aerial);
+        [
+            Field::from_vec(self.height, self.width, inner),
+            Field::from_vec(self.height, self.width, nominal),
+            Field::from_vec(self.height, self.width, outer),
+        ]
     }
 
     /// Relaxed wafer image `Z = σ(α(I − I_th))` of Eq. (12) from an aerial
@@ -502,101 +599,111 @@ impl LithoModel {
         let n = self.height * self.width;
         let slen = self.rfft.spectrum_len();
 
+        self.prime_arena();
         let mask_half = self.mask_half(mask);
-        let fields = self.convolved_fields(&mask_half);
-        self.arena.put_complex(mask_half);
+        with_field_slots(self.spectra.len(), |fields| {
+            self.convolved_fields_into(&mask_half, fields);
+            self.arena.put_complex(mask_half);
 
-        // Aerial image and relaxed wafer `Z = σ(α(dose·I − I_th))`, plus the
-        // error and the chain factor g = 2α·dose (Z − Z_t) ⊙ Z ⊙ (1 − Z).
-        // ALLOC: want_fields is the cold debug/reporting branch — it hands the
-        // buffers to the caller, so they cannot come from the arena.
-        let mut intensity = if want_fields { vec![0.0f32; n] } else { self.arena.take_real(n) };
-        self.accumulate_intensity(&fields, &mut intensity);
-        // ALLOC: same want_fields escape hatch as `intensity` above.
-        let mut z = if want_fields { vec![0.0f32; n] } else { self.arena.take_real(n) };
-        let mut g = self.arena.take_real(n);
-        let alpha = self.sigmoid_alpha;
-        let th = self.threshold;
-        let chain = 2.0 * alpha * dose;
-        let mut error = 0.0f64;
-        for (((zi, gi), &ii), &ti) in
-            z.iter_mut().zip(g.iter_mut()).zip(intensity.iter()).zip(target.as_slice())
-        {
-            let zv = 1.0 / (1.0 + (-alpha * (dose * ii - th)).exp());
-            *zi = zv;
-            let d = zv - ti;
-            error += (d as f64) * (d as f64);
-            *gi = chain * d * zv * (1.0 - zv);
-        }
+            // Aerial image and relaxed wafer `Z = σ(α(dose·I − I_th))`, plus the
+            // error and the chain factor g = 2α·dose (Z − Z_t) ⊙ Z ⊙ (1 − Z).
+            // ALLOC: want_fields is the cold debug/reporting branch — it hands the
+            // buffers to the caller, so they cannot come from the arena.
+            let mut intensity = if want_fields { vec![0.0f32; n] } else { self.arena.take_real(n) };
+            self.accumulate_intensity(fields, &mut intensity);
+            // ALLOC: same want_fields escape hatch as `intensity` above.
+            let mut z = if want_fields { vec![0.0f32; n] } else { self.arena.take_real(n) };
+            let mut g = self.arena.take_real(n);
+            let alpha = self.sigmoid_alpha;
+            let th = self.threshold;
+            let chain = 2.0 * alpha * dose;
+            let mut error = 0.0f64;
+            for (((zi, gi), &ii), &ti) in
+                z.iter_mut().zip(g.iter_mut()).zip(intensity.iter()).zip(target.as_slice())
+            {
+                let zv = 1.0 / (1.0 + (-alpha * (dose * ii - th)).exp());
+                *zi = zv;
+                let d = zv - ti;
+                error += (d as f64) * (d as f64);
+                *gi = chain * d * zv * (1.0 - zv);
+            }
 
-        // grad = Σ_k w_k · 2 Re[ IFFT( FFT(g ⊙ A_k) ⊙ conj(H_k) ) ]. With
-        // A_k = p + i·q and H_k = R + i·I (half-spectra of the kernel's real
-        // components), the real part collapses to a single Hermitian inverse:
-        // grad_k = 2 w_k · c2r( P ⊙ conj(R) + Q ⊙ conj(I) ), P = r2c(g⊙p),
-        // Q = r2c(g⊙q) — one c2r per kernel instead of a full complex
-        // round-trip. Per-kernel contributions are computed on the pool and
-        // reduced below in kernel order, so the gradient bits do not depend
-        // on how many workers ran.
-        let g_ref = &g;
-        let jobs: Vec<(&KernelSpectrum, (Option<Vec<f32>>, Option<Vec<f32>>))> =
-            // ALLOC: tiny per-call job list (one entry per kernel) pairing each
-            // kernel spectrum with its convolved fields for pool dispatch.
-            self.spectra.iter().map(|(_, ks)| ks).zip(fields).collect();
-        let per_kernel = pool::run(jobs, |(ks, (p, q))| {
-            let mut w_spec = self.arena.take_complex(slen);
-            let mut tmp = self.arena.take_complex(slen);
-            let mut scratch = self.arena.take_complex(slen);
-            let mut u = self.arena.take_real(n);
-            let mut wrote = false;
-            for (comp, half) in [(&p, ks.re_spectrum()), (&q, ks.im_spectrum())] {
-                let (Some(field), Some(half)) = (comp, half) else { continue };
-                for ((ui, &fi), &gi) in u.iter_mut().zip(field.iter()).zip(g_ref.iter()) {
-                    *ui = gi * fi;
+            // grad = Σ_k w_k · 2 Re[ IFFT( FFT(g ⊙ A_k) ⊙ conj(H_k) ) ]. With
+            // A_k = p + i·q and H_k = R + i·I (half-spectra of the kernel's real
+            // components), the real part collapses to a single Hermitian inverse:
+            // grad_k = 2 w_k · c2r( P ⊙ conj(R) + Q ⊙ conj(I) ), P = r2c(g⊙p),
+            // Q = r2c(g⊙q) — one c2r per kernel instead of a full complex
+            // round-trip. Kernel indices fan out over the pool through the
+            // allocation-free run_chunks path; each job consumes its slot's
+            // convolved fields and leaves the kernel's gradient contribution in
+            // the slot, reduced below in kernel order so the gradient bits do
+            // not depend on how many workers ran.
+            let g_ref = &g;
+            let slots = pool::DisjointMut::new(&mut fields[..]);
+            pool::run_chunks(self.spectra.len(), |kernels| {
+                for ki in kernels {
+                    // SAFETY: run_chunks kernel ranges partition the slot list,
+                    // so slot ki is owned by exactly this chunk.
+                    let slot = unsafe { slots.index_mut(ki) };
+                    let (p, q) = (slot.0.take(), slot.1.take());
+                    let ks = &self.spectra[ki].1;
+                    let mut w_spec = self.arena.take_complex(slen);
+                    let mut tmp = self.arena.take_complex(slen);
+                    let mut scratch = self.arena.take_complex(slen);
+                    let mut u = self.arena.take_real(n);
+                    let mut wrote = false;
+                    for (comp, half) in [(&p, ks.re_spectrum()), (&q, ks.im_spectrum())] {
+                        let (Some(field), Some(half)) = (comp, half) else { continue };
+                        for ((ui, &fi), &gi) in u.iter_mut().zip(field.iter()).zip(g_ref.iter()) {
+                            *ui = gi * fi;
+                        }
+                        // PANIC: buffers were sized from this plan above.
+                        self.rfft.forward(&u, &mut tmp, &mut scratch).expect("planned size");
+                        if wrote {
+                            spectrum::mul_conj_add_into(&mut w_spec, &tmp, half);
+                        } else {
+                            spectrum::mul_conj_into(&mut w_spec, &tmp, half);
+                            wrote = true;
+                        }
+                    }
+                    for comp in [p, q].into_iter().flatten() {
+                        self.arena.put_real(comp);
+                    }
+                    self.arena.put_complex(tmp);
+                    slot.0 = if wrote {
+                        let mut gk = u; // reuse as the real output buffer
+                        self.rfft
+                            .inverse(&mut w_spec, &mut gk, &mut scratch)
+                            // PANIC: buffers were sized from this plan above.
+                            .expect("planned size");
+                        Some(gk)
+                    } else {
+                        self.arena.put_real(u);
+                        None
+                    };
+                    self.arena.put_complex(w_spec);
+                    self.arena.put_complex(scratch);
                 }
-                // PANIC: buffers were sized from this plan above.
-                self.rfft.forward(&u, &mut tmp, &mut scratch).expect("planned size");
-                if wrote {
-                    spectrum::mul_conj_add_into(&mut w_spec, &tmp, half);
-                } else {
-                    spectrum::mul_conj_into(&mut w_spec, &tmp, half);
-                    wrote = true;
+            });
+            for ((w, _), slot) in self.spectra.iter().zip(fields.iter_mut()) {
+                let Some(gk) = slot.0.take() else { continue };
+                let s = 2.0 * w;
+                for (go, &c) in grad.iter_mut().zip(gk.iter()) {
+                    *go += s * c;
                 }
+                self.arena.put_real(gk);
             }
-            for comp in [p, q].into_iter().flatten() {
-                self.arena.put_real(comp);
-            }
-            self.arena.put_complex(tmp);
-            let out = if wrote {
-                let mut gk = u; // reuse as the real output buffer
-                                // PANIC: buffers were sized from this plan above.
-                self.rfft.inverse(&mut w_spec, &mut gk, &mut scratch).expect("planned size");
-                Some(gk)
+            self.arena.put_real(g);
+
+            let captured = if want_fields {
+                Some((intensity, z))
             } else {
-                self.arena.put_real(u);
+                self.arena.put_real(intensity);
+                self.arena.put_real(z);
                 None
             };
-            self.arena.put_complex(w_spec);
-            self.arena.put_complex(scratch);
-            out
-        });
-        for ((w, _), gk) in self.spectra.iter().zip(per_kernel) {
-            let Some(gk) = gk else { continue };
-            let s = 2.0 * w;
-            for (go, &c) in grad.iter_mut().zip(gk.iter()) {
-                *go += s * c;
-            }
-            self.arena.put_real(gk);
-        }
-        self.arena.put_real(g);
-
-        let captured = if want_fields {
-            Some((intensity, z))
-        } else {
-            self.arena.put_real(intensity);
-            self.arena.put_real(z);
-            None
-        };
-        Ok((error, captured))
+            Ok((error, captured))
+        })
     }
 }
 

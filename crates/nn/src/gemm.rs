@@ -69,6 +69,9 @@ enum Layout {
 thread_local! {
     /// Per-thread scratch for transposed `B` tiles of `A·Bᵀ` products.
     static PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread stripe scratch for column-split outputs (crew workers are
+    /// persistent, so this is a one-time allocation per worker).
+    static STRIPE: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
 }
 
 /// `C[m×n] = A[m×k] · B[k×n]` into a fresh buffer.
@@ -129,69 +132,73 @@ pub fn matmul_nt_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n
 }
 
 /// Dispatches a full product, splitting across pool workers when profitable.
+/// The parallel splits dispatch through [`pool::run_chunks`]: no job vector,
+/// no result vector — a steady-state dispatch allocates nothing.
 fn gemm(layout: Layout, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     assert_eq!(c.len(), m * n, "output size mismatch");
     c.fill(0.0);
-    let threads = if m * k * n < PAR_MIN_MULADDS { 1 } else { pool::max_threads() };
-    if threads <= 1 || pool::in_worker() {
+    if m * k * n < PAR_MIN_MULADDS || pool::max_threads() <= 1 || pool::in_worker() {
         with_pack(|pack| gemm_block(layout, a, b, m, k, n, 0, m, 0, n, c, n, pack));
     } else if m >= n {
-        // Row split: workers own disjoint row blocks of C directly.
-        let rows_per = m.div_ceil(threads).div_ceil(MR) * MR;
-        let jobs: Vec<(usize, &mut [f32])> = c
-            .chunks_mut(rows_per * n)
-            .enumerate()
-            .map(|(t, chunk)| (t * rows_per, chunk))
-            // ALLOC: O(threads) job list per parallel dispatch, not O(data);
-            // the serial steady-state path above allocates nothing.
-            .collect();
-        pool::debug_assert_disjoint(
-            "gemm row split",
-            jobs.iter().map(|&(i_lo, ref chunk)| (i_lo * n, chunk.len())),
-        );
-        pool::run(jobs, |(i_lo, chunk)| {
-            let i_hi = i_lo + chunk.len() / n;
+        // Row split: chunk the MR-quantized row-block index space, so every
+        // participant owns whole micro-tile rows; each chunk gets a disjoint
+        // `&mut` row block of C through `DisjointMut`.
+        let blocks = m.div_ceil(MR);
+        let out = pool::DisjointMut::new(c);
+        pool::run_chunks(blocks, |r| {
+            let i_lo = r.start * MR;
+            let i_hi = (r.end * MR).min(m);
+            // SAFETY: run_chunks block ranges partition 0..blocks, so the
+            // derived row ranges — and hence these element ranges of C —
+            // are pairwise disjoint.
+            let chunk = unsafe { out.slice_mut(i_lo * n..i_hi * n) };
             with_pack(|pack| gemm_block(layout, a, b, m, k, n, i_lo, i_hi, 0, n, chunk, n, pack));
         });
     } else {
-        // Column split: workers compute contiguous stripes which are copied
-        // back in stripe order (C is row-major, so column ranges of C are
-        // not expressible as disjoint `&mut` slices).
-        let cols_per = n.div_ceil(threads).div_ceil(NR) * NR;
-        let ranges: Vec<(usize, usize)> = (0..n)
-            .step_by(cols_per)
-            .map(|j| (j, (j + cols_per).min(n)))
-            // ALLOC: O(threads) stripe ranges per parallel dispatch (×2 for
-            // the clone handed to the pool); the serial path allocates nothing.
-            .collect();
-        pool::debug_assert_disjoint(
-            "gemm column split",
-            ranges.iter().map(|&(j_lo, j_hi)| (j_lo, j_hi - j_lo)),
-        );
-
-        // ALLOC: see stripe ranges above — O(threads) per dispatch.
-        let stripes = pool::run(ranges.clone(), |(j_lo, j_hi)| {
+        // Column split: chunk the NR-quantized column-block index space.
+        // Row-major column ranges of C are not contiguous, so each chunk
+        // computes into its thread's persistent stripe scratch and copies
+        // back into its own disjoint column segment of every C row.
+        let blocks = n.div_ceil(NR);
+        let out = pool::DisjointMut::new(c);
+        pool::run_chunks(blocks, |r| {
+            let j_lo = r.start * NR;
+            let j_hi = (r.end * NR).min(n);
             let width = j_hi - j_lo;
-            // ALLOC: per-worker stripe of C; column splits cannot hand out
-            // disjoint &mut slices of the row-major output.
-            let mut local = vec![0.0f32; m * width];
-            with_pack(|pack| {
-                gemm_block(layout, a, b, m, k, n, 0, m, j_lo, j_hi, &mut local, width, pack)
+            with_stripe(m * width, |local| {
+                with_pack(|pack| {
+                    gemm_block(layout, a, b, m, k, n, 0, m, j_lo, j_hi, local, width, pack)
+                });
+                for i in 0..m {
+                    // SAFETY: column ranges [j_lo, j_hi) are pairwise
+                    // disjoint across chunks, so row i's segment here is
+                    // touched by exactly this chunk.
+                    let row = unsafe { out.slice_mut(i * n + j_lo..i * n + j_hi) };
+                    row.copy_from_slice(&local[i * width..][..width]);
+                }
             });
-            local
         });
-        for (&(j_lo, j_hi), stripe) in ranges.iter().zip(&stripes) {
-            let width = j_hi - j_lo;
-            for i in 0..m {
-                c[i * n + j_lo..i * n + j_hi].copy_from_slice(&stripe[i * width..][..width]);
-            }
-        }
     }
 }
 
 /// Runs `f` with this thread's packing scratch.
 fn with_pack<R>(f: impl FnOnce(&mut Vec<f32>) -> R) -> R {
     PACK.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+/// Runs `f` with this thread's stripe scratch, zeroed to `len` elements.
+fn with_stripe<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    STRIPE.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        if buf.len() < len {
+            // ALLOC: one-time growth of persistent per-worker scratch; crew
+            // workers live for the whole process, so steady state reuses it.
+            buf.resize(len, 0.0);
+        }
+        let local = &mut buf[..len];
+        local.fill(0.0);
+        f(local)
+    })
 }
 
 /// Serial blocked kernel computing `C[i_lo..i_hi, j_lo..j_hi] += A·B` for the

@@ -142,19 +142,25 @@ impl Layer for Conv2d {
         let weight = self.weight.value.as_slice();
         let bias = self.bias.value.as_slice();
         let input_data = input.as_slice();
-        let jobs = self
-            .cache_cols
-            .iter_mut()
-            .zip(out.as_mut_slice().chunks_mut(out_ch * plane))
-            .enumerate()
-            .take(n);
-        pool::for_each(jobs, |(ni, (cols, dst))| {
-            let img = &input_data[ni * c * h * w..][..c * h * w];
-            im2col_into(cols, img, c, h, w, k, stride, pad);
-            matmul_into(dst, weight, cols, out_ch, ckk, plane);
-            for (drow, &b) in dst.chunks_mut(plane).zip(bias) {
-                for v in drow {
-                    *v += b;
+        let cols_v = pool::DisjointMut::new(&mut self.cache_cols[..n]);
+        let out_v = pool::DisjointMut::new(out.as_mut_slice());
+        pool::run_chunks(n, |samples| {
+            for ni in samples {
+                // SAFETY: run_chunks sample ranges partition 0..n, so this
+                // chunk exclusively owns sample ni's scratch and output plane.
+                let (cols, dst) = unsafe {
+                    (
+                        cols_v.index_mut(ni),
+                        out_v.slice_mut(ni * out_ch * plane..(ni + 1) * out_ch * plane),
+                    )
+                };
+                let img = &input_data[ni * c * h * w..][..c * h * w];
+                im2col_into(cols, img, c, h, w, k, stride, pad);
+                matmul_into(dst, weight, cols, out_ch, ckk, plane);
+                for (drow, &b) in dst.chunks_mut(plane).zip(bias) {
+                    for v in drow {
+                        *v += b;
+                    }
                 }
             }
         });
@@ -185,33 +191,48 @@ impl Layer for Conv2d {
             db.clear();
             db.extend(go.chunks_exact(plane).map(|row| row.iter().sum::<f32>()));
         };
+        let dw_v = pool::DisjointMut::new(&mut self.scratch_dw[..n]);
+        let db_v = pool::DisjointMut::new(&mut self.scratch_db[..n]);
         match grad_in {
             Some(gi_t) => {
                 gi_t.resize(&[n, c, h, w]);
                 per_sample_scratch(&mut self.scratch_dcols, n);
-                let jobs = self
-                    .scratch_dcols
-                    .iter_mut()
-                    .zip(self.scratch_dw.iter_mut())
-                    .zip(self.scratch_db.iter_mut())
-                    .zip(gi_t.as_mut_slice().chunks_mut(c * h * w))
-                    .enumerate()
-                    .take(n);
-                pool::for_each(jobs, |(ni, (((dcols, dw), db), gi))| {
-                    sample_params(ni, dw, db);
-                    // d cols = Wᵀ · gO; W stored [oc × ckk]; fold back onto
-                    // the input grid directly in this sample's grad_in slice.
-                    let go = &grad_out_data[ni * out_ch * plane..][..out_ch * plane];
-                    fit(dcols, ckk * plane);
-                    matmul_tn_into(dcols, weight, go, ckk, out_ch, plane);
-                    col2im_into(gi, dcols, c, h, w, k, stride, pad);
+                let dcols_v = pool::DisjointMut::new(&mut self.scratch_dcols[..n]);
+                let gi_v = pool::DisjointMut::new(gi_t.as_mut_slice());
+                let plane_in = c * h * w;
+                pool::run_chunks(n, |samples| {
+                    for ni in samples {
+                        // SAFETY: run_chunks sample ranges partition 0..n, so
+                        // this chunk exclusively owns sample ni's scratch
+                        // slots and grad_in plane.
+                        let (dcols, dw, db, gi) = unsafe {
+                            (
+                                dcols_v.index_mut(ni),
+                                dw_v.index_mut(ni),
+                                db_v.index_mut(ni),
+                                gi_v.slice_mut(ni * plane_in..(ni + 1) * plane_in),
+                            )
+                        };
+                        sample_params(ni, dw, db);
+                        // d cols = Wᵀ · gO; W stored [oc × ckk]; fold back onto
+                        // the input grid directly in this sample's grad_in slice.
+                        let go = &grad_out_data[ni * out_ch * plane..][..out_ch * plane];
+                        fit(dcols, ckk * plane);
+                        matmul_tn_into(dcols, weight, go, ckk, out_ch, plane);
+                        col2im_into(gi, dcols, c, h, w, k, stride, pad);
+                    }
                 });
             }
             // Discard path (first layer): parameter gradients only.
             None => {
-                let jobs =
-                    self.scratch_dw.iter_mut().zip(self.scratch_db.iter_mut()).enumerate().take(n);
-                pool::for_each(jobs, |(ni, (dw, db))| sample_params(ni, dw, db));
+                pool::run_chunks(n, |samples| {
+                    for ni in samples {
+                        // SAFETY: run_chunks sample ranges partition 0..n, so
+                        // this chunk exclusively owns sample ni's scratch slots.
+                        let (dw, db) = unsafe { (dw_v.index_mut(ni), db_v.index_mut(ni)) };
+                        sample_params(ni, dw, db);
+                    }
+                });
             }
         }
         self.reduce_partials(n);
@@ -346,23 +367,29 @@ impl Layer for ConvTranspose2d {
         let weight = self.weight.value.as_slice();
         let bias = self.bias.value.as_slice();
         let input_data = input.as_slice();
-        let jobs = self
-            .scratch_cols
-            .iter_mut()
-            .zip(out.as_mut_slice().chunks_mut(out_ch * out_plane))
-            .enumerate()
-            .take(n);
-        pool::for_each(jobs, |(ni, (cols, dst))| {
-            let x = &input_data[ni * c * in_plane..][..c * in_plane];
-            // cols [okk × in_plane] = Wᵀ · x, with W stored [in_ch × okk].
-            fit(cols, okk * in_plane);
-            matmul_tn_into(cols, weight, x, okk, in_ch, in_plane);
-            // Scatter back onto the (larger) output grid: transposed conv is
-            // the adjoint of a conv from [oh×ow] down to [ih×iw].
-            col2im_into(dst, cols, out_ch, oh, ow, k, stride, pad);
-            for (drow, &b) in dst.chunks_mut(out_plane).zip(bias) {
-                for v in drow {
-                    *v += b;
+        let cols_v = pool::DisjointMut::new(&mut self.scratch_cols[..n]);
+        let out_v = pool::DisjointMut::new(out.as_mut_slice());
+        pool::run_chunks(n, |samples| {
+            for ni in samples {
+                // SAFETY: run_chunks sample ranges partition 0..n, so this
+                // chunk exclusively owns sample ni's scratch and output plane.
+                let (cols, dst) = unsafe {
+                    (
+                        cols_v.index_mut(ni),
+                        out_v.slice_mut(ni * out_ch * out_plane..(ni + 1) * out_ch * out_plane),
+                    )
+                };
+                let x = &input_data[ni * c * in_plane..][..c * in_plane];
+                // cols [okk × in_plane] = Wᵀ · x, with W stored [in_ch × okk].
+                fit(cols, okk * in_plane);
+                matmul_tn_into(cols, weight, x, okk, in_ch, in_plane);
+                // Scatter back onto the (larger) output grid: transposed conv
+                // is the adjoint of a conv from [oh×ow] down to [ih×iw].
+                col2im_into(dst, cols, out_ch, oh, ow, k, stride, pad);
+                for (drow, &b) in dst.chunks_mut(out_plane).zip(bias) {
+                    for v in drow {
+                        *v += b;
+                    }
                 }
             }
         });
@@ -405,33 +432,44 @@ impl Layer for ConvTranspose2d {
                 db.clear();
                 db.extend(go.chunks_exact(out_plane).map(|row| row.iter().sum::<f32>()));
             };
+        let gcols_v = pool::DisjointMut::new(&mut self.scratch_gcols[..n]);
+        let dw_v = pool::DisjointMut::new(&mut self.scratch_dw[..n]);
+        let db_v = pool::DisjointMut::new(&mut self.scratch_db[..n]);
         match grad_in {
             Some(gi_t) => {
                 gi_t.resize(&[n, c, ih, iw]);
-                let jobs = self
-                    .scratch_gcols
-                    .iter_mut()
-                    .zip(self.scratch_dw.iter_mut())
-                    .zip(self.scratch_db.iter_mut())
-                    .zip(gi_t.as_mut_slice().chunks_mut(c * in_plane))
-                    .enumerate()
-                    .take(n);
-                pool::for_each(jobs, |(ni, (((gcols, dw), db), gi))| {
-                    sample_params(ni, gcols, dw, db);
-                    // grad_in [in_ch × in_plane] = W · gcols.
-                    matmul_into(gi, weight, gcols, in_ch, okk, in_plane);
+                let gi_v = pool::DisjointMut::new(gi_t.as_mut_slice());
+                pool::run_chunks(n, |samples| {
+                    for ni in samples {
+                        // SAFETY: run_chunks sample ranges partition 0..n, so
+                        // this chunk exclusively owns sample ni's scratch
+                        // slots and grad_in plane.
+                        let (gcols, dw, db, gi) = unsafe {
+                            (
+                                gcols_v.index_mut(ni),
+                                dw_v.index_mut(ni),
+                                db_v.index_mut(ni),
+                                gi_v.slice_mut(ni * c * in_plane..(ni + 1) * c * in_plane),
+                            )
+                        };
+                        sample_params(ni, gcols, dw, db);
+                        // grad_in [in_ch × in_plane] = W · gcols.
+                        matmul_into(gi, weight, gcols, in_ch, okk, in_plane);
+                    }
                 });
             }
             // Discard path (first layer): parameter gradients only.
             None => {
-                let jobs = self
-                    .scratch_gcols
-                    .iter_mut()
-                    .zip(self.scratch_dw.iter_mut())
-                    .zip(self.scratch_db.iter_mut())
-                    .enumerate()
-                    .take(n);
-                pool::for_each(jobs, |(ni, ((gcols, dw), db))| sample_params(ni, gcols, dw, db));
+                pool::run_chunks(n, |samples| {
+                    for ni in samples {
+                        // SAFETY: run_chunks sample ranges partition 0..n, so
+                        // this chunk exclusively owns sample ni's scratch slots.
+                        let (gcols, dw, db) = unsafe {
+                            (gcols_v.index_mut(ni), dw_v.index_mut(ni), db_v.index_mut(ni))
+                        };
+                        sample_params(ni, gcols, dw, db);
+                    }
+                });
             }
         }
         self.reduce_partials(n);

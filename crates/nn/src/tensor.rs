@@ -389,27 +389,34 @@ fn check_shape(shape: &[usize]) -> usize {
 /// buffer is large. Chunk boundaries never affect results because `f` is
 /// element-wise.
 fn par_unary(dst: &mut [f32], f: impl Fn(&mut [f32]) + Sync) {
-    let threads = par_threads(dst.len());
-    if threads <= 1 {
+    if par_threads(dst.len()) <= 1 {
         f(dst);
         return;
     }
-    let chunk = dst.len().div_ceil(threads);
-    pool::run(dst.chunks_mut(chunk).collect(), f);
+    let total = dst.len();
+    let view = pool::DisjointMut::new(dst);
+    pool::run_chunks(total, |r| {
+        // SAFETY: run_chunks ranges partition 0..total, so each chunk's
+        // view is disjoint from every other chunk's.
+        f(unsafe { view.slice_mut(r) });
+    });
 }
 
 /// Applies `f` to corresponding chunks of `dst` and `src` (same length),
 /// splitting across the worker pool when the buffers are large.
 fn par_binary(dst: &mut [f32], src: &[f32], f: impl Fn(&mut [f32], &[f32]) + Sync) {
     debug_assert_eq!(dst.len(), src.len());
-    let threads = par_threads(dst.len());
-    if threads <= 1 {
+    if par_threads(dst.len()) <= 1 {
         f(dst, src);
         return;
     }
-    let chunk = dst.len().div_ceil(threads);
-    let jobs: Vec<(&mut [f32], &[f32])> = dst.chunks_mut(chunk).zip(src.chunks(chunk)).collect();
-    pool::run(jobs, |(d, s)| f(d, s));
+    let total = dst.len();
+    let view = pool::DisjointMut::new(dst);
+    pool::run_chunks(total, |r| {
+        // SAFETY: run_chunks ranges partition 0..total, so each chunk's
+        // dst view is disjoint from every other chunk's.
+        f(unsafe { view.slice_mut(r.clone()) }, &src[r]);
+    });
 }
 
 fn par_threads(len: usize) -> usize {

@@ -16,6 +16,9 @@ cargo run --release -p ganopc-lint
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> cargo test -q (GANOPC_THREADS=4: parallel dispatch through the crew)"
+GANOPC_THREADS=4 cargo test -q --workspace
+
 echo "==> allocation regression (steady-state train/infer must not allocate)"
 cargo test -q -p ganopc-core --test alloc_regression
 
