@@ -156,7 +156,8 @@ impl OpcDataset {
     }
 
     /// Starts the deterministic mini-batch stream used by training: epoch
-    /// `e` is drawn in [`OpcDataset::epoch_order`]`(seed + e)` order.
+    /// `e` is drawn in [`OpcDataset::epoch_order`]`(seed.wrapping_add(e))`
+    /// order (matching [`EpochStream`]'s checkpointed position semantics).
     pub fn epoch_stream(&self, seed: u64) -> EpochStream {
         EpochStream::at_position(self, seed, 0, 0)
     }

@@ -6,7 +6,7 @@ use ganopc_ilt::{IltConfig, IltEngine};
 use ganopc_litho::metrics::{DefectConfig, MaskMetrics};
 use ganopc_litho::{Field, LithoModel, OpticalConfig};
 use ganopc_nn::Tensor;
-use std::time::Instant;
+use ganopc_obs as obs;
 
 /// Physical span of one clip frame, nm (the paper's 2048 nm × 2048 nm
 /// layout frames) — the single place the flow's nm↔pixel scale is set.
@@ -219,10 +219,13 @@ impl GanOpcFlow {
                 target.shape()
             )));
         }
-        let total_start = Instant::now();
+        // The three runtime fields all come from obs spans, so the end-to-end
+        // flow feeds the same histograms as every other subsystem and the
+        // result struct needs no ad-hoc timers.
+        let total_span = obs::span(obs::Span::FlowTotal);
 
         // Generator stage.
-        let gen_start = Instant::now();
+        let gen_span = obs::span(obs::Span::FlowGenerator);
         let factor = self.config.pool_factor();
         let pooled = if factor == 1 { target.clone() } else { target.avg_pool(factor) };
         field_to_tensor_into(&pooled, &mut self.net_input);
@@ -248,12 +251,12 @@ impl GanOpcFlow {
         for (m, &t) in generator_mask.as_mut_slice().iter_mut().zip(target.as_slice()) {
             *m = m.max(0.6 * t);
         }
-        let generator_runtime_s = gen_start.elapsed().as_secs_f64();
+        let generator_runtime_s = gen_span.finish().as_secs_f64();
 
         // ILT refinement stage.
-        let refine_start = Instant::now();
+        let refine_span = obs::span(obs::Span::FlowRefinement);
         let refined = self.engine.optimize_from(target, &generator_mask)?;
-        let refinement_runtime_s = refine_start.elapsed().as_secs_f64();
+        let refinement_runtime_s = refine_span.finish().as_secs_f64();
 
         let metrics = MaskMetrics::evaluate(
             self.engine.model(),
@@ -269,7 +272,7 @@ impl GanOpcFlow {
             metrics,
             generator_runtime_s,
             refinement_runtime_s,
-            total_runtime_s: total_start.elapsed().as_secs_f64(),
+            total_runtime_s: total_span.finish().as_secs_f64(),
             refinement_iterations: refined.iterations,
         })
     }

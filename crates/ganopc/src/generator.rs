@@ -4,6 +4,7 @@ use ganopc_nn::layers::{
     BatchNorm2d, Conv2d, ConvTranspose2d, LeakyRelu, Relu, Sequential, Sigmoid,
 };
 use ganopc_nn::{NnError, Tensor};
+use ganopc_obs as obs;
 
 /// The GAN-OPC generator.
 ///
@@ -128,6 +129,8 @@ impl Generator {
     /// Panics when the spatial size disagrees with the generator.
     // lint: hot-path
     pub fn infer_into(&mut self, targets: &Tensor, out: &mut Tensor) {
+        let _sp = obs::span(obs::Span::Infer);
+        obs::counter_add(obs::Counter::InferBatches, 1);
         self.forward_into(targets, out, false);
     }
 

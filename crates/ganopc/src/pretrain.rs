@@ -16,6 +16,7 @@ use ganopc_litho::LithoModel;
 use ganopc_nn::checkpoint::Checkpoint;
 use ganopc_nn::optim::Sgd;
 use ganopc_nn::{pool, Tensor};
+use ganopc_obs as obs;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
@@ -179,6 +180,8 @@ fn run_steps(
     let mut grad = Tensor::zeros(&[1]);
     let mut errors: Vec<Result<f64, GanOpcError>> = Vec::new();
     for _ in 0..steps {
+        let _step_span = obs::span(obs::Span::PretrainStep);
+        obs::counter_add(obs::Counter::PretrainSteps, 1);
         let indices = stream.next_batch(dataset, config.batch_size);
         let (targets, _) = dataset.batch(&indices);
         // Line 5: M ← G(Z_t).
@@ -197,6 +200,9 @@ fn run_steps(
         let eview = pool::DisjointMut::new(&mut errors[..batch]);
         let masks_ref = &masks;
         let indices_ref = &indices;
+        // This fan-out is the litho phase of pretraining: one adjoint
+        // gradient simulation per sample, across the worker crew.
+        let litho_span = obs::span(obs::Span::PretrainLitho);
         pool::run_chunks(batch, |samples| {
             for bi in samples {
                 let di = indices_ref[bi];
@@ -216,6 +222,7 @@ fn run_steps(
                 *unsafe { eview.index_mut(bi) } = err;
             }
         });
+        drop(litho_span);
         let mut err_total = 0.0f64;
         for err in &mut errors {
             err_total += std::mem::replace(err, Ok(0.0))?;

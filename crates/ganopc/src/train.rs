@@ -22,6 +22,7 @@ use ganopc_nn::checkpoint::Checkpoint;
 use ganopc_nn::loss::{bce_scalar_label_into, sum_squared_error_acc_into};
 use ganopc_nn::optim::Sgd;
 use ganopc_nn::Tensor;
+use ganopc_obs as obs;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
@@ -302,18 +303,30 @@ impl GanTrainer {
     /// the generator update in between touches only generator parameters.
     // lint: hot-path
     pub fn train_step(&mut self, targets: &Tensor, ref_masks: &Tensor) -> StepStats {
+        // Phase spans (G-forward / D-pass / backward / optimizer) attribute
+        // every code segment of the step; phases that run twice (both
+        // network updates) simply record two samples per step. Lithography
+        // does not appear here — GAN training is litho-free by design; the
+        // litho spans cover pretraining and validation scoring instead.
+        let _step_span = obs::span(obs::Span::TrainStep);
+        obs::counter_add(obs::Counter::TrainSteps, 1);
         self.step += 1;
         let batch = targets.shape()[0] as f32;
         let TrainScratch { masks, probs, grad_p, grad_masks } = &mut self.scratch;
 
         // ---- Generator update: l_g = −log D(Z_t, M) + α‖M* − M‖² ----
+        let g_span = obs::span(obs::Span::TrainGForward);
         self.generator.forward_into(targets, masks, true);
+        drop(g_span);
+        let d_span = obs::span(obs::Span::TrainDPass);
         self.discriminator.forward_pair_into(targets, masks, probs, true);
         let d_fake = mean_f64(probs);
         // 1/m is folded straight into the BCE gradient; the loss value is
         // reported unscaled.
         let adv_loss = bce_scalar_label_into(probs, 1.0, 1.0 / batch, grad_p);
+        drop(d_span);
         // Route the adversarial gradient through D into the mask channel.
+        let bwd_span = obs::span(obs::Span::TrainBackward);
         self.discriminator.zero_grads();
         self.discriminator.backward_pair_into(grad_p, grad_masks);
         // D's half of the fake term reuses this same forward: `probs` still
@@ -337,10 +350,13 @@ impl GanTrainer {
         self.generator.zero_grads();
         // The generator is first in the chain: ∂l/∂Z_t is never consumed.
         self.generator.backward_discard(grad_masks);
+        drop(bwd_span);
+        let opt_span = obs::span(obs::Span::TrainOptimizer);
         if let Some(clip) = self.config.clip_grad_norm {
             self.generator.net_mut().clip_gradients(clip);
         }
         self.opt_g.step(self.generator.net_mut());
+        drop(opt_span);
 
         // ---- Discriminator update: BCE(real,1) + BCE(fake,0) ----
         // The adversarial pass polluted D's gradients; clear them, then
@@ -348,17 +364,25 @@ impl GanTrainer {
         // (the generator is detached — only parameter gradients matter, so
         // the input gradient is discarded). The real forward afterwards
         // overwrites those caches, so order matters here.
+        let bwd_span = obs::span(obs::Span::TrainBackward);
         self.discriminator.zero_grads();
         self.discriminator.backward_pair_discard(grad_p);
+        drop(bwd_span);
+        let d_span = obs::span(obs::Span::TrainDPass);
         self.discriminator.forward_pair_into(targets, ref_masks, probs, true);
         let d_real = mean_f64(probs);
         let loss_real = bce_scalar_label_into(probs, 1.0, 1.0 / batch, grad_p);
+        drop(d_span);
+        let bwd_span = obs::span(obs::Span::TrainBackward);
         self.discriminator.backward_pair_discard(grad_p);
+        drop(bwd_span);
+        let opt_span = obs::span(obs::Span::TrainOptimizer);
         if let Some(clip) = self.config.clip_grad_norm {
             self.discriminator.net_mut().clip_gradients(clip);
         }
         self.opt_d.step(self.discriminator.net_mut());
         self.discriminator.zero_grads();
+        drop(opt_span);
 
         StepStats {
             step: self.step,
@@ -428,6 +452,7 @@ impl GanTrainer {
         model: &ganopc_litho::LithoModel,
         validation: &OpcDataset,
     ) -> Result<(), GanOpcError> {
+        let _sp = obs::span(obs::Span::TrainValidation);
         let report = crate::validate::evaluate_generator(&mut self.generator, model, validation)?;
         let better =
             self.best.as_ref().map(|b| report.litho_error < b.report.litho_error).unwrap_or(true);

@@ -13,6 +13,10 @@
 //! sizes per-worker scratch a 4-thread steady state is also allocation-free.
 //! This is the single test in this binary because both the allocator counter
 //! and the thread override are process-wide.
+//!
+//! The obs instrumentation (span timers, counters, trace rings) is active
+//! on every measured path and is itself covered by a dedicated block: the
+//! zero-allocation guarantee holds *with metrics recording enabled*.
 
 use ganopc_core::{Discriminator, GanTrainer, Generator, OpcDataset, TrainConfig};
 use ganopc_ilt::IltConfig;
@@ -111,6 +115,22 @@ fn steady_state_training_and_inference_allocate_nothing() {
     }
     let delta = allocations() - before;
     assert_eq!(delta, 0, "infer_into allocated {delta} times after warmup at 4 threads");
+
+    // Metrics recording itself is allocation-free: counters, span guards,
+    // and trace pushes write fixed static slots. Every measured loop above
+    // already ran with the train/infer spans and pool counters recording;
+    // this block pins the obs primitives directly so a future change that
+    // buys convenience with a heap allocation fails here by name.
+    use ganopc_obs as obs;
+    let before = allocations();
+    for i in 0..64 {
+        let sp = obs::span(obs::Span::TrainStep);
+        obs::counter_add(obs::Counter::TrainSteps, 1);
+        obs::trace_push(obs::Trace::IltLoss, i as f64);
+        drop(sp);
+    }
+    let delta = allocations() - before;
+    assert_eq!(delta, 0, "obs recording allocated {delta} times");
 
     ganopc_nn::pool::set_max_threads(None);
 }

@@ -22,6 +22,18 @@ fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
 fn training_stats_are_identical_for_any_thread_count() {
     let dataset = OpcDataset::synthesize(32, 2, IltConfig::fast(), 99).unwrap();
 
+    // Observability must observe, never perturb. The span/counter hooks are
+    // unconditionally active in every closure below (so each 1/3/4-thread
+    // comparison already runs instrumented); the one opt-in recorder — the
+    // ILT EPE trace, which replays aerial images into private scratch — is
+    // checked here: synthesis with the trace enabled must reproduce the
+    // untraced dataset bit-for-bit.
+    ganopc_obs::set_epe_trace_stride(4);
+    let traced = OpcDataset::synthesize(32, 2, IltConfig::fast(), 99).unwrap();
+    ganopc_obs::set_epe_trace_stride(0);
+    assert_eq!(dataset.targets(), traced.targets(), "EPE trace perturbed synthesized targets");
+    assert_eq!(dataset.masks(), traced.masks(), "EPE trace perturbed ILT reference masks");
+
     // Adversarial training (Algorithm 1): StepStats derive PartialEq over
     // f64 fields, so equality here is bitwise.
     let train = || {

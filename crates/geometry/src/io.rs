@@ -4,6 +4,7 @@
 //! files — viewable everywhere, writable without an image dependency.
 
 use crate::raster::Raster;
+use ganopc_obs as obs;
 use std::io::{self, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -55,13 +56,18 @@ pub fn write_atomic_with<P: AsRef<Path>>(
         std::process::id(),
         SEQ.fetch_add(1, Ordering::Relaxed)
     ));
+    let write_span = obs::span(obs::Span::ArtifactWrite);
     let written = (|| {
         let mut writer = io::BufWriter::new(std::fs::File::create(&tmp)?);
         fill(&mut writer)?;
         let file = writer.into_inner().map_err(|e| e.into_error())?;
-        file.sync_all()
+        let fsync_span = obs::span(obs::Span::ArtifactFsync);
+        let synced = file.sync_all();
+        fsync_span.finish();
+        synced
     })();
     let renamed = written.and_then(|()| std::fs::rename(&tmp, path));
+    write_span.finish();
     if renamed.is_err() {
         let _ = std::fs::remove_file(&tmp);
     }

@@ -41,10 +41,10 @@
 //! ```
 
 use ganopc_litho::{Field, LithoModel};
+use ganopc_obs as obs;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
-use std::time::Instant;
 
 /// Errors from ILT optimization.
 #[derive(Debug)]
@@ -269,7 +269,11 @@ impl IltEngine {
                 return Err(IltError::ShapeMismatch { expected: frame, actual: f.shape() });
             }
         }
-        let start = Instant::now();
+        // The run span both feeds the ilt_optimize histogram and supplies
+        // the result's runtime field; per-iteration spans and the loss/EPE
+        // traces are recorded inside the loop below.
+        let run_span = obs::span(obs::Span::IltOptimize);
+        obs::counter_add(obs::Counter::IltRuns, 1);
         let (h, w) = frame;
         let beta = self.config.beta;
         // Unconstrained parametrization: P = logit(m)/β with m clamped away
@@ -302,7 +306,19 @@ impl IltEngine {
         let mut dose_grad = vec![0.0f32; h * w];
         let mu = self.config.momentum;
         let mut iterations = 0usize;
+        // EPE-trace scratch (binary mask, aerial intensity, wafer) exists
+        // only when the trace is enabled — the default (stride 0) costs the
+        // descent loop nothing.
+        let epe_stride = obs::epe_trace_stride();
+        let mut epe_scratch = if epe_stride > 0 {
+            // ALLOC: opt-in diagnostics scratch, hoisted outside the loop.
+            Some((Field::zeros(h, w), vec![0.0f32; h * w], Field::zeros(h, w)))
+        } else {
+            None
+        };
         for iter in 0..self.config.max_iterations {
+            let _iter_span = obs::span(obs::Span::IltIteration);
+            obs::counter_add(obs::Counter::IltIterations, 1);
             iterations = iter + 1;
             // Relaxed mask from the parametrization (Eq. (13)).
             for (mb, &pv) in m_b.as_mut_slice().iter_mut().zip(p.as_slice()) {
@@ -319,6 +335,28 @@ impl IltEngine {
             }
             err /= doses.len() as f64;
             history.push(err);
+            obs::trace_push(obs::Trace::IltLoss, err);
+            if let Some((bin_mask, aerial, wafer)) = epe_scratch.as_mut() {
+                if iter % epe_stride == 0 {
+                    // Print the binarized current mask and count EPE
+                    // violations — the convergence signal Fig. 5 plots.
+                    for (b, &mb) in bin_mask.as_mut_slice().iter_mut().zip(m_b.as_slice()) {
+                        *b = f32::from(mb >= 0.5);
+                    }
+                    self.model.aerial_image_into(bin_mask, aerial.as_mut_slice())?;
+                    let th = self.model.threshold();
+                    for (wv, &iv) in wafer.as_mut_slice().iter_mut().zip(aerial.iter()) {
+                        *wv = f32::from(iv >= th);
+                    }
+                    let (violations, _) = ganopc_litho::metrics::epe_violations(
+                        wafer,
+                        target,
+                        self.model.pixel_nm(),
+                        &ganopc_litho::metrics::DefectConfig::default(),
+                    );
+                    obs::trace_push(obs::Trace::IltEpe, violations as f64);
+                }
+            }
             if err < best_err {
                 best_err = err;
                 best_p = p.clone();
@@ -361,7 +399,7 @@ impl IltEngine {
             l2_history: history,
             binary_l2_nm2,
             iterations,
-            runtime_s: start.elapsed().as_secs_f64(),
+            runtime_s: run_span.finish().as_secs_f64(),
         })
     }
 }

@@ -3,7 +3,8 @@
 //!
 //! The repo's hard-won invariants (zero-allocation hot paths, atomic
 //! artifact writes, cached env reads, a no-silent-panic policy, unsafe
-//! hygiene) used to live only in DESIGN.md and reviewers' heads. This
+//! hygiene, observability discipline) used to live only in DESIGN.md and
+//! reviewers' heads. This
 //! crate turns them into machine-checked rules: a small hand-rolled
 //! lexer (`lexer`) feeds token-pattern rules (`rules`) that walk every
 //! workspace `src/` tree. `scripts/check.sh` fails on any finding.

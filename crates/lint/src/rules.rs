@@ -1,4 +1,4 @@
-//! The five workspace invariant rules, evaluated over a lexed file.
+//! The six workspace invariant rules, evaluated over a lexed file.
 //!
 //! Rules are token-pattern matches scoped by a light structural pass
 //! ([`FileModel`]) that tracks `#[cfg(test)]`/`#[test]` regions, attribute
@@ -41,6 +41,7 @@ pub const RULE_ATOMIC_WRITE: &str = "atomic-write";
 pub const RULE_ENV_READ: &str = "env-read";
 pub const RULE_PANIC_POLICY: &str = "panic-policy";
 pub const RULE_UNSAFE_SAFETY: &str = "unsafe-safety";
+pub const RULE_OBS: &str = "obs-discipline";
 
 /// The only file allowed to open files for writing directly: everything
 /// else must route through its `write_atomic` helpers.
@@ -61,6 +62,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
     model.check_env_read(&mut out);
     model.check_panic_policy(&mut out);
     model.check_unsafe_safety(&mut out);
+    model.check_obs(&mut out);
     out.sort();
     out.dedup();
     out
@@ -72,6 +74,9 @@ struct FnSpan {
     /// Token indices of the body, including both braces.
     body: std::ops::Range<usize>,
     hot: bool,
+    /// `#[cold]`-attributed or `// lint: cold`-marked: a declared error
+    /// path, off-limits to metrics recording.
+    cold: bool,
 }
 
 /// Per-file structural facts shared by all rules.
@@ -285,14 +290,53 @@ impl FileModel {
                 close += 1;
             }
             let kw_line = self.toks[i].line;
-            let hot = if self.marker_applies(&self.cold_marker_lines, kw_line) {
+            let cold_marked = self.marker_applies(&self.cold_marker_lines, kw_line);
+            let hot = if cold_marked {
                 false
             } else {
                 self.file_hot || self.marker_applies(&self.hot_marker_lines, kw_line)
             };
-            fns.push(FnSpan { name, body: open..(close + 1).min(n), hot });
+            let cold = cold_marked || self.has_cold_attr(i);
+            fns.push(FnSpan { name, body: open..(close + 1).min(n), hot, cold });
         }
         self.fns = fns;
+    }
+
+    /// Is the `fn` keyword at token `i` preceded by a `#[cold]` attribute?
+    /// Walks back over attributes and declaration modifiers (`pub(crate)`,
+    /// `unsafe`, `const`, `async`, `extern`); anything else ends the item.
+    fn has_cold_attr(&self, i: usize) -> bool {
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            let t = &self.toks[j];
+            if self.in_attr[j] {
+                if t.is_ident("cold") {
+                    return true;
+                }
+                continue;
+            }
+            let modifier = match t.kind {
+                TokKind::Ident => matches!(
+                    t.text.as_str(),
+                    "pub"
+                        | "crate"
+                        | "super"
+                        | "self"
+                        | "in"
+                        | "unsafe"
+                        | "const"
+                        | "async"
+                        | "extern"
+                ),
+                TokKind::Punct(c) => c == '(' || c == ')',
+                _ => false,
+            };
+            if !modifier {
+                return false;
+            }
+        }
+        false
     }
 
     /// A marker on line `l` applies to an item starting at `item_line`
@@ -507,6 +551,91 @@ impl FileModel {
                 "`unsafe` block without an adjacent `// SAFETY: <why sound>` comment".to_string(),
             );
         }
+    }
+
+    // --- rule 6: obs discipline --------------------------------------------
+    //
+    // Two failure modes of the instrumentation layer:
+    //
+    // * A span guard discarded at its own statement (`let _ = obs::span(…)`
+    //   or a bare `obs::span(…);`) records an ~0 ns sample instead of the
+    //   phase it was meant to cover — in particular it cannot survive a `?`
+    //   or early return in the phase. Guards must be bound to a live
+    //   binding (`let _sp = …`, underscore-prefixed names are fine) or
+    //   consumed via `.finish()`.
+    // * Metrics inside `#[cold]` / `// lint: cold` functions: error paths
+    //   stay uninstrumented so failure handling never pays (or skews) the
+    //   observability budget.
+    fn check_obs(&self, out: &mut Vec<Finding>) {
+        for (i, t) in self.toks.iter().enumerate() {
+            if self.in_test[i] || self.in_attr[i] || t.kind != TokKind::Ident {
+                continue;
+            }
+            if !(self.path_call(i, "obs") || self.path_call(i, "ganopc_obs")) {
+                continue;
+            }
+            if let Some(f) = self.enclosing_fn(i) {
+                if f.cold {
+                    self.push(
+                        out,
+                        RULE_OBS,
+                        t.line,
+                        format!(
+                            "obs recording inside cold fn `{}` — `#[cold]`/`// lint: cold` error paths stay uninstrumented",
+                            f.name
+                        ),
+                    );
+                    continue;
+                }
+            }
+            if t.text == "span" && self.punct_at(i + 1, '(') && self.span_guard_discarded(i) {
+                self.push(
+                    out,
+                    RULE_OBS,
+                    t.line,
+                    "span guard dropped at its own statement — bind it (`let _sp = obs::span(…)`) so the span covers the scope it measures"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    /// Does the `obs::span(...)` call whose `span` token sits at `i` discard
+    /// its guard immediately? True for `let _ = obs::span(…);` and for a
+    /// bare statement `obs::span(…);` — both drop the guard at the `;`.
+    fn span_guard_discarded(&self, i: usize) -> bool {
+        // `let _ = …`: the wildcard pattern drops the guard at once.
+        if i >= 6
+            && self.ident_at(i - 6, "let")
+            && self.ident_at(i - 5, "_")
+            && self.punct_at(i - 4, '=')
+        {
+            return true;
+        }
+        // Bare statement: the path starts a statement and the call's close
+        // paren is immediately followed by `;` (no binding, no method
+        // chain, no surrounding expression).
+        let starts_stmt = match i.checked_sub(4) {
+            None => true,
+            Some(b) => self.punct_at(b, ';') || self.punct_at(b, '{') || self.punct_at(b, '}'),
+        };
+        if !starts_stmt {
+            return false;
+        }
+        let mut depth = 0i64;
+        let mut k = i + 1;
+        while k < self.toks.len() {
+            if self.punct_at(k, '(') {
+                depth += 1;
+            } else if self.punct_at(k, ')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            k += 1;
+        }
+        self.punct_at(k + 1, ';')
     }
 }
 

@@ -4,7 +4,8 @@
 //! `src/` roots the workspace walker visits, so they never self-flag).
 
 use ganopc_lint::rules::{
-    RULE_ATOMIC_WRITE, RULE_ENV_READ, RULE_HOT_PATH_ALLOC, RULE_PANIC_POLICY, RULE_UNSAFE_SAFETY,
+    RULE_ATOMIC_WRITE, RULE_ENV_READ, RULE_HOT_PATH_ALLOC, RULE_OBS, RULE_PANIC_POLICY,
+    RULE_UNSAFE_SAFETY,
 };
 use ganopc_lint::{lint_source, Finding};
 
@@ -309,6 +310,83 @@ fn safety_comment_satisfies_the_rule() {
 pub fn read(p: *const u32) -> u32 {
     // SAFETY: callers pass a pointer derived from a live &u32.
     unsafe { *p }
+}
+";
+    assert!(lint_source("crates/demo/src/lib.rs", src).is_empty());
+}
+
+// --- rule 6: obs discipline -------------------------------------------------
+
+#[test]
+fn discarded_span_guard_is_flagged() {
+    // `let _ =` drops the guard immediately: the span records ~0 ns.
+    let src = "\
+pub fn step() {
+    let _ = obs::span(obs::Span::TrainStep);
+    work();
+}
+";
+    let findings = lint_source("crates/demo/src/lib.rs", src);
+    assert_single(&findings, RULE_OBS, "crates/demo/src/lib.rs", 2);
+    assert!(findings[0].message.contains("span guard"), "{}", findings[0]);
+}
+
+#[test]
+fn bare_statement_span_is_flagged() {
+    let src = "\
+pub fn step() {
+    ganopc_obs::span(ganopc_obs::Span::TrainStep);
+    work();
+}
+";
+    let findings = lint_source("crates/demo/src/lib.rs", src);
+    assert_single(&findings, RULE_OBS, "crates/demo/src/lib.rs", 2);
+}
+
+#[test]
+fn bound_guards_and_finish_are_fine() {
+    let src = "\
+pub fn step() {
+    let _sp = obs::span(obs::Span::TrainStep);
+    let g = obs::span(obs::Span::TrainGForward);
+    work();
+    drop(g);
+    let dur = obs::span(obs::Span::Infer).finish();
+    use_duration(dur);
+}
+";
+    assert!(lint_source("crates/demo/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn metrics_in_cold_fns_are_flagged() {
+    // Both the attribute and the marker declare an uninstrumented error
+    // path; any obs recording inside is a violation.
+    let src = "\
+#[cold]
+pub fn on_error() {
+    obs::counter_add(obs::Counter::TrainSteps, 1);
+}
+
+// lint: cold
+pub fn bail() {
+    let _sp = ganopc_obs::span(ganopc_obs::Span::TrainStep);
+}
+";
+    let findings = lint_source("crates/demo/src/lib.rs", src);
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    assert_eq!((findings[0].rule, findings[0].line), (RULE_OBS, 3));
+    assert_eq!((findings[1].rule, findings[1].line), (RULE_OBS, 8));
+    assert!(findings[0].message.contains("`on_error`"), "{}", findings[0]);
+    assert!(findings[1].message.contains("`bail`"), "{}", findings[1]);
+}
+
+#[test]
+fn warm_fns_may_record_metrics() {
+    let src = "\
+pub fn step() {
+    obs::counter_add(obs::Counter::TrainSteps, 1);
+    obs::trace_push(obs::Trace::IltLoss, 0.5);
 }
 ";
     assert!(lint_source("crates/demo/src/lib.rs", src).is_empty());

@@ -130,21 +130,27 @@ impl Default for DefectConfig {
     }
 }
 
-/// Edge-placement-error check (paper Fig. 2, left).
+/// Walks every EPE measurement point, calling `visit(a, d_px)` once per
+/// point.
 ///
-/// Measurement points are sampled along the horizontal and vertical edges of
-/// the binary `target`; at each point the wafer contour is located along the
-/// edge normal and the displacement compared against the tolerance. Points
-/// where no contour is found within the search range count as violations
-/// (the feature failed to print or merged).
+/// This is the single sampling pass shared by [`epe_violations`] and
+/// [`epe_statistics`], so both always agree on which points are measured
+/// and on the displacement found at each. Measurement points sit on every
+/// vertical and horizontal transition of the binary `target`, sampled at
+/// `cfg.epe_sample_step_nm` spacing along the edge; the wafer contour is
+/// located along the edge normal within the violation search range.
 ///
-/// Returns `(violations, measurements)`.
-pub fn epe_violations(
+/// `a` is the target polarity on the low-coordinate side of the edge and
+/// `d_px` the *signed* contour displacement in pixels toward increasing
+/// coordinate (`None` when no matching wafer transition exists in range —
+/// the feature failed to print or merged).
+fn for_each_epe_sample(
     wafer: &Field,
     target: &Field,
     pixel_nm: f64,
     cfg: &DefectConfig,
-) -> (usize, usize) {
+    mut visit: impl FnMut(bool, Option<f64>),
+) {
     assert_eq!(wafer.shape(), target.shape(), "epe shape mismatch");
     let (h, w) = target.shape();
     let step = (cfg.epe_sample_step_nm / pixel_nm).round().max(1.0) as usize;
@@ -157,8 +163,6 @@ pub fn epe_violations(
             && (x as usize) < w
             && f.get(y as usize, x as usize) >= 0.5
     };
-    let mut violations = 0usize;
-    let mut measurements = 0usize;
 
     // Vertical edges: target transition between columns x and x+1.
     for y in (0..h).step_by(step) {
@@ -168,9 +172,8 @@ pub fn epe_violations(
             if a == b {
                 continue;
             }
-            measurements += 1;
             // The drawn edge sits between x and x+1; find the wafer
-            // transition along this row near it.
+            // transition along this row near it, closest first.
             let mut found = None;
             for d in 0..=search {
                 for xs in [x as isize - d, x as isize + d] {
@@ -180,7 +183,7 @@ pub fn epe_violations(
                     let wa = on(wafer, y as isize, xs);
                     let wb = on(wafer, y as isize, xs + 1);
                     if wa != wb && wa == a {
-                        found = Some((xs - x as isize).abs() as f64);
+                        found = Some((xs - x as isize) as f64);
                         break;
                     }
                 }
@@ -188,10 +191,7 @@ pub fn epe_violations(
                     break;
                 }
             }
-            match found {
-                Some(dist_px) if dist_px <= tol_px => {}
-                _ => violations += 1,
-            }
+            visit(a, found);
         }
     }
     // Horizontal edges: transition between rows y and y+1.
@@ -202,7 +202,6 @@ pub fn epe_violations(
             if a == b {
                 continue;
             }
-            measurements += 1;
             let mut found = None;
             for d in 0..=search {
                 for ys in [y as isize - d, y as isize + d] {
@@ -212,7 +211,7 @@ pub fn epe_violations(
                     let wa = on(wafer, ys, x as isize);
                     let wb = on(wafer, ys + 1, x as isize);
                     if wa != wb && wa == a {
-                        found = Some((ys - y as isize).abs() as f64);
+                        found = Some((ys - y as isize) as f64);
                         break;
                     }
                 }
@@ -220,12 +219,40 @@ pub fn epe_violations(
                     break;
                 }
             }
-            match found {
-                Some(dist_px) if dist_px <= tol_px => {}
-                _ => violations += 1,
-            }
+            visit(a, found);
         }
     }
+}
+
+/// Edge-placement-error check (paper Fig. 2, left).
+///
+/// Measurement points are sampled along the horizontal and vertical edges of
+/// the binary `target`; at each point the wafer contour is located along the
+/// edge normal and the displacement compared against the tolerance. Points
+/// where no contour is found within the search range count as violations
+/// (the feature failed to print or merged).
+///
+/// The tolerance comparison happens in nanometers on `|d_px| * pixel_nm`,
+/// the exact magnitude [`epe_statistics`] stores for the same point, so the
+/// violation count always equals [`EpeStatistics::violations`] at
+/// `cfg.epe_tolerance_nm`.
+///
+/// Returns `(violations, measurements)`.
+pub fn epe_violations(
+    wafer: &Field,
+    target: &Field,
+    pixel_nm: f64,
+    cfg: &DefectConfig,
+) -> (usize, usize) {
+    let mut violations = 0usize;
+    let mut measurements = 0usize;
+    for_each_epe_sample(wafer, target, pixel_nm, cfg, |_a, d_px| {
+        measurements += 1;
+        match d_px {
+            Some(d) if d.abs() * pixel_nm <= cfg.epe_tolerance_nm => {}
+            _ => violations += 1,
+        }
+    });
     (violations, measurements)
 }
 
@@ -276,13 +303,28 @@ impl EpeStatistics {
         let bad = self.samples_nm.iter().filter(|v| v.abs() > tolerance_nm).count();
         bad as f64 / self.samples_nm.len() as f64
     }
+
+    /// Number of measurement points violating `tolerance_nm`: every
+    /// unmeasured point plus every measured point with |EPE| strictly above
+    /// the tolerance.
+    ///
+    /// At the tolerance the distribution was collected with, this equals
+    /// `epe_violations(...).0` exactly — both derive from the same
+    /// edge-sample walk and compare the same `|d_px| * pixel_nm` magnitude
+    /// (the ±1 orientation sign never changes it).
+    pub fn violations(&self, tolerance_nm: f64) -> usize {
+        self.unmeasured + self.samples_nm.iter().filter(|v| v.abs() > tolerance_nm).count()
+    }
 }
 
 /// Collects the signed EPE distribution of a wafer against a target.
 ///
-/// Sampling mirrors [`epe_violations`]: points along every horizontal and
-/// vertical target edge at `cfg.epe_sample_step_nm` spacing, displacement
-/// measured along the edge normal within the violation search range.
+/// Sampling is shared with [`epe_violations`] (both walk the same
+/// edge-sample pass): points along every horizontal and vertical target
+/// edge at `cfg.epe_sample_step_nm` spacing, displacement measured along
+/// the edge normal within the violation search range. Consequently
+/// [`EpeStatistics::violations`] at `cfg.epe_tolerance_nm` reproduces the
+/// [`epe_violations`] count exactly.
 ///
 /// # Panics
 ///
@@ -293,87 +335,17 @@ pub fn epe_statistics(
     pixel_nm: f64,
     cfg: &DefectConfig,
 ) -> EpeStatistics {
-    assert_eq!(wafer.shape(), target.shape(), "epe shape mismatch");
-    let (h, w) = target.shape();
-    let step = (cfg.epe_sample_step_nm / pixel_nm).round().max(1.0) as usize;
-    let tol_px = cfg.epe_tolerance_nm / pixel_nm;
-    let search = (tol_px.ceil() as isize + 2).max(3);
-    let on = |f: &Field, y: isize, x: isize| -> bool {
-        y >= 0
-            && x >= 0
-            && (y as usize) < h
-            && (x as usize) < w
-            && f.get(y as usize, x as usize) >= 0.5
-    };
     let mut stats = EpeStatistics { samples_nm: Vec::new(), unmeasured: 0 };
-
-    // Vertical target edges.
-    for y in (0..h).step_by(step) {
-        for x in 0..w.saturating_sub(1) {
-            let a = target.get(y, x) >= 0.5;
-            let b = target.get(y, x + 1) >= 0.5;
-            if a == b {
-                continue;
-            }
-            let mut found = None;
-            for d in 0..=search {
-                for xs in [x as isize - d, x as isize + d] {
-                    if xs < 0 || (xs + 1) as usize >= w {
-                        continue;
-                    }
-                    if on(wafer, y as isize, xs) != on(wafer, y as isize, xs + 1)
-                        && on(wafer, y as isize, xs) == a
-                    {
-                        found = Some((xs - x as isize) as f64);
-                        break;
-                    }
-                }
-                if found.is_some() {
-                    break;
-                }
-            }
-            // Orient by the edge: material sits on the `+x` side when the
-            // left sample is off, so a `+` displacement there is pullback
-            // (positive EPE); on a falling edge the sign flips.
-            let sign = if a { -1.0 } else { 1.0 };
-            match found {
-                Some(d_px) => stats.samples_nm.push(sign * d_px * pixel_nm),
-                None => stats.unmeasured += 1,
-            }
+    for_each_epe_sample(wafer, target, pixel_nm, cfg, |a, d_px| {
+        // Orient by the edge: material sits on the `+` side when the
+        // low-coordinate sample is off, so a `+` displacement there is
+        // pullback (positive EPE); on a falling edge the sign flips.
+        let sign = if a { -1.0 } else { 1.0 };
+        match d_px {
+            Some(d) => stats.samples_nm.push(sign * d * pixel_nm),
+            None => stats.unmeasured += 1,
         }
-    }
-    // Horizontal target edges.
-    for x in (0..w).step_by(step) {
-        for y in 0..h.saturating_sub(1) {
-            let a = target.get(y, x) >= 0.5;
-            let b = target.get(y + 1, x) >= 0.5;
-            if a == b {
-                continue;
-            }
-            let mut found = None;
-            for d in 0..=search {
-                for ys in [y as isize - d, y as isize + d] {
-                    if ys < 0 || (ys + 1) as usize >= h {
-                        continue;
-                    }
-                    if on(wafer, ys, x as isize) != on(wafer, ys + 1, x as isize)
-                        && on(wafer, ys, x as isize) == a
-                    {
-                        found = Some((ys - y as isize) as f64);
-                        break;
-                    }
-                }
-                if found.is_some() {
-                    break;
-                }
-            }
-            let sign = if a { -1.0 } else { 1.0 };
-            match found {
-                Some(d_px) => stats.samples_nm.push(sign * d_px * pixel_nm),
-                None => stats.unmeasured += 1,
-            }
-        }
-    }
+    });
     stats
 }
 
@@ -712,6 +684,61 @@ mod tests {
         let stats = epe_statistics(&wafer, &target, 1.0, &cfg);
         assert!(stats.is_empty());
         assert!(stats.unmeasured > 0);
+    }
+
+    #[test]
+    fn epe_statistics_agree_with_epe_violations_on_random_fields() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // Both metrics must derive from the same edge-sample walk: for any
+        // wafer/target pair the distribution replayed at the collection
+        // tolerance reproduces the pass/fail count exactly.
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (h, w) = (24, 24);
+            let mut target = Field::zeros(h, w);
+            let mut wafer = Field::zeros(h, w);
+            // Random rectangles give axis-aligned edges like real clips...
+            for _ in 0..4 {
+                let y0 = rng.gen_range(0..h - 2);
+                let x0 = rng.gen_range(0..w - 2);
+                let y1 = rng.gen_range(y0 + 1..h);
+                let x1 = rng.gen_range(x0 + 1..w);
+                for y in y0..y1 {
+                    for x in x0..x1 {
+                        target.set(y, x, 1.0);
+                    }
+                }
+            }
+            // ...and a noisy wafer exercises measured, shifted, and
+            // unmeasurable points alike.
+            for y in 0..h {
+                for x in 0..w {
+                    let flip = rng.gen_bool(0.15);
+                    let v = target.get(y, x);
+                    wafer.set(y, x, if flip { 1.0 - v } else { v });
+                }
+            }
+            for (pixel_nm, tol_nm) in [(1.0, 1.0), (16.0, 15.0), (10.0, 25.0)] {
+                let cfg = DefectConfig {
+                    epe_tolerance_nm: tol_nm,
+                    epe_sample_step_nm: pixel_nm,
+                    ..Default::default()
+                };
+                let (violations, measurements) = epe_violations(&wafer, &target, pixel_nm, &cfg);
+                let stats = epe_statistics(&wafer, &target, pixel_nm, &cfg);
+                assert_eq!(
+                    measurements,
+                    stats.len() + stats.unmeasured,
+                    "seed {seed} pixel {pixel_nm}: measurement counts diverged"
+                );
+                assert_eq!(
+                    violations,
+                    stats.violations(tol_nm),
+                    "seed {seed} pixel {pixel_nm} tol {tol_nm}: violation counts diverged"
+                );
+            }
+        }
     }
 
     #[test]

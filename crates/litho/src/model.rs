@@ -6,6 +6,7 @@ use crate::{Field, LithoError};
 use ganopc_fft::spectrum::{self, KernelSpectrum};
 use ganopc_fft::{Arena, Complex, RealFft2d};
 use ganopc_nn::pool;
+use ganopc_obs as obs;
 
 /// Result of one lithography-gradient evaluation (paper Eq. (11)–(14)).
 #[derive(Debug, Clone)]
@@ -435,6 +436,8 @@ impl LithoModel {
     /// and [`LithoError::Fft`] when `intensity` has the wrong length.
     // lint: hot-path
     pub fn aerial_image_into(&self, mask: &Field, intensity: &mut [f32]) -> Result<(), LithoError> {
+        let _sp = obs::span(obs::Span::LithoAerial);
+        obs::counter_add(obs::Counter::LithoAerialCalls, 1);
         self.check_shape(mask)?;
         let n = self.height * self.width;
         if intensity.len() != n {
@@ -593,6 +596,8 @@ impl LithoModel {
         grad: &mut [f32],
         want_fields: bool,
     ) -> Result<(f64, Option<(Vec<f32>, Vec<f32>)>), LithoError> {
+        let _sp = obs::span(obs::Span::LithoGradient);
+        obs::counter_add(obs::Counter::LithoGradientCalls, 1);
         self.check_shape(mask)?;
         self.check_shape(target)?;
         assert!(dose > 0.0, "dose must be positive");

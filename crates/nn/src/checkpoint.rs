@@ -61,6 +61,7 @@
 //! ```
 
 use crate::Tensor;
+use ganopc_obs as obs;
 use std::error::Error;
 use std::fmt;
 use std::path::Path;
@@ -335,8 +336,12 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Vec<Tensor>, CheckpointError> {
 /// `path`.
 pub fn save<P: AsRef<Path>>(path: P, tensors: &[Tensor]) -> Result<(), CheckpointError> {
     let path = path.as_ref();
-    ganopc_geometry::io::write_atomic(path, &to_bytes(tensors))
-        .map_err(|source| CheckpointError::File { op: "write", path: path.to_path_buf(), source })
+    let sp = obs::span(obs::Span::CheckpointSave);
+    obs::counter_add(obs::Counter::CheckpointSaves, 1);
+    let result = ganopc_geometry::io::write_atomic(path, &to_bytes(tensors))
+        .map_err(|source| CheckpointError::File { op: "write", path: path.to_path_buf(), source });
+    sp.finish();
+    result
 }
 
 /// Reads a v1 snapshot from a file.
@@ -712,9 +717,13 @@ impl Checkpoint {
     /// Propagates I/O failures.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), CheckpointError> {
         let path = path.as_ref();
-        ganopc_geometry::io::write_atomic(path, &self.to_bytes()).map_err(|source| {
+        let sp = obs::span(obs::Span::CheckpointSave);
+        obs::counter_add(obs::Counter::CheckpointSaves, 1);
+        let result = ganopc_geometry::io::write_atomic(path, &self.to_bytes()).map_err(|source| {
             CheckpointError::File { op: "write", path: path.to_path_buf(), source }
-        })
+        });
+        sp.finish();
+        result
     }
 
     /// Reads a container (either wire version) from a file.

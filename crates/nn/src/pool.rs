@@ -33,6 +33,7 @@
 //!   panic payload then resumes on the caller. The crew survives and serves
 //!   the next dispatch.
 
+use ganopc_obs as obs;
 use std::cell::Cell;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -210,7 +211,9 @@ fn plan_threads(total: usize) -> usize {
 
 /// Body of one crew worker: park until the dispatch sequence advances, then
 /// claim and execute chunks of the published task until none remain.
-fn worker_loop() {
+/// `worker` is this thread's stable crew index, used only to attribute
+/// claimed chunks in the observability layer.
+fn worker_loop(worker: usize) {
     IN_WORKER.with(|w| w.set(true));
     let crew = crew();
     let mut seen = 0u64;
@@ -220,17 +223,26 @@ fn worker_loop() {
             // code runs outside them, under catch_unwind), so the lock
             // cannot be poisoned.
             let mut st = crew.state.lock().expect("crew state lock");
+            let mut parked = false;
             loop {
                 if st.seq > seen {
                     seen = st.seq;
+                    if parked {
+                        obs::counter_add(obs::Counter::PoolWorkerWakes, 1);
+                    }
                     break (st.task, st.seq);
                 }
+                parked = true;
+                obs::counter_add(obs::Counter::PoolWorkerParks, 1);
                 // PANIC: see lock above — poisoning is unreachable.
                 st = crew.work.wait(st).expect("crew state lock");
             }
         };
         if let Some(task) = task {
-            execute_chunks(task, seq);
+            let claimed = execute_chunks(task, seq);
+            if claimed > 0 {
+                obs::worker_claims_add(worker, claimed as u64);
+            }
         }
     }
 }
@@ -261,9 +273,11 @@ fn claim_chunk(seq: u64, chunks: usize) -> Option<usize> {
 /// the batch under the state lock. Shared by workers and the dispatching
 /// thread. A panicking chunk is caught here: the payload is stored (first
 /// wins), the abort flag makes the remaining chunks skip, and the dispatch
-/// still quiesces — the crew is never poisoned.
+/// still quiesces — the crew is never poisoned. Returns the number of
+/// chunks this thread claimed, so callers can attribute them (per-worker
+/// claim slots, dispatcher-inline counter).
 // lint: hot-path
-fn execute_chunks(task: Task, seq: u64) {
+fn execute_chunks(task: Task, seq: u64) -> usize {
     let crew = crew();
     let mut done_mask = 0u64;
     let mut skip_mask = 0u64;
@@ -303,6 +317,7 @@ fn execute_chunks(task: Task, seq: u64) {
             crew.done.notify_all();
         }
     }
+    processed
 }
 
 /// Ensures at least `target` workers exist, spawning the missing ones.
@@ -311,8 +326,11 @@ fn execute_chunks(task: Task, seq: u64) {
 // lint: cold
 fn ensure_workers(st: &mut State, target: usize) {
     while st.workers < target {
-        let spawned =
-            std::thread::Builder::new().name("ganopc-crew".to_string()).spawn(worker_loop).is_ok();
+        let worker = st.workers;
+        let spawned = std::thread::Builder::new()
+            .name("ganopc-crew".to_string())
+            .spawn(move || worker_loop(worker))
+            .is_ok();
         if !spawned {
             break;
         }
@@ -340,7 +358,15 @@ fn dispatch(
     ctx: *const (),
     chunks: usize,
 ) -> Result<(), PanicOutcome> {
-    debug_assert!((2..=MAX_CHUNKS).contains(&chunks));
+    debug_assert!((2..=MAX_CHUNKS).contains(&chunks), "dispatch chunk count {chunks} out of range");
+    // Hard cap, enforced in release builds too: the claim word packs the
+    // chunk cursor into its low CLAIM_SEQ_SHIFT bits (256 claims) and the
+    // completed/skipped bitmaps hold one bit per chunk (64). A chunk count
+    // above MAX_CHUNKS would silently corrupt both, so clamp — every planner
+    // in this module already upholds the invariant via `plan_threads`, but a
+    // future call site must not be able to break it silently.
+    let chunks = chunks.min(MAX_CHUNKS);
+    obs::counter_add(obs::Counter::PoolDispatches, 1);
     let crew = crew();
     // PANIC: held only around dispatch bookkeeping that cannot panic; user
     // code runs after this guard is acquired but poisoning requires a panic
@@ -366,8 +392,9 @@ fn dispatch(
     // The dispatching thread is a full participant; its own chunks count as
     // worker execution, so nested pool calls inside them run inline.
     let was_worker = IN_WORKER.with(|w| w.replace(true));
-    execute_chunks(task, seq);
+    let inline = execute_chunks(task, seq);
     IN_WORKER.with(|w| w.set(was_worker));
+    obs::counter_add(obs::Counter::PoolChunksInline, inline as u64);
     // Quiesce: wait for straggler workers to account their claimed chunks.
     // PANIC: see worker_loop — the crew never panics under its mutexes.
     let mut st = crew.state.lock().expect("crew state lock");
@@ -543,6 +570,15 @@ unsafe fn chunks_thunk<F: Fn(Range<usize>)>(ctx: *const (), chunk: usize) {
 /// This is the steady-state entry point for the hot dispatch sites: unlike
 /// [`run`] it materializes no job vector and returns no result vector —
 /// callers write results into caller-owned disjoint storage.
+///
+/// # Invariant
+///
+/// A dispatch never uses more than `MAX_CHUNKS` (64) ranges, regardless of
+/// `total` or the thread cap: chunk completion is tracked in `u64` bitmaps
+/// and the claim word reserves only the low byte for the chunk cursor.
+/// `plan_threads` clamps to that bound here, and [`dispatch`] re-clamps
+/// (plus `debug_assert!`s) so no future call site can overflow the packed
+/// bookkeeping silently.
 ///
 /// # Panics
 ///

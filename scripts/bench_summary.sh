@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Runs the workspace criterion benches and distills their fixed-width text
-# output into a machine-readable JSON summary (default: BENCH_8.json in the
-# workspace root). All durations are normalized to nanoseconds.
+# output into a machine-readable JSON summary (default: BENCH_9.json in the
+# workspace root). All durations are normalized to nanoseconds. Benches whose
+# name ends in `_x<N>` run N operations per sample (the obs_overhead group);
+# those entries additionally carry `per_op_median_ns` = median / N, which is
+# the number scripts/check.sh holds against the span budget.
 #
 # Usage:
 #   scripts/bench_summary.sh [out.json]
@@ -9,7 +12,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_8.json}"
+out="${1:-BENCH_9.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -37,9 +40,15 @@ function to_ns(v, u) {
         if ($(i + 1) == "samples)") n = substr($i, 2)
     }
     if (min == "" || med == "" || mean == "" || n == "") next
+    extra = ""
+    if (match(name, /_x[0-9]+$/)) {
+        batch = substr(name, RSTART + 2) + 0
+        if (batch > 0)
+            extra = sprintf(", \"per_op_median_ns\": %.1f", med / batch)
+    }
     entries[++count] = sprintf( \
-        "    {\"name\": \"%s\", \"min_ns\": %.1f, \"median_ns\": %.1f, \"mean_ns\": %.1f, \"samples\": %d}", \
-        name, min, med, mean, n)
+        "    {\"name\": \"%s\", \"min_ns\": %.1f, \"median_ns\": %.1f, \"mean_ns\": %.1f, \"samples\": %d%s}", \
+        name, min, med, mean, n, extra)
 }
 END {
     printf "{\n"

@@ -25,6 +25,25 @@ cargo test -q -p ganopc-core --test alloc_regression
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 
+echo "==> obs overhead budget (span enter/exit < 50 ns median per op)"
+obs_out="$(cargo bench -q -p ganopc-bench --bench obs_overhead 2>&1)"
+echo "$obs_out"
+echo "$obs_out" | awk '
+    /span_enter_exit_x1024/ {
+        for (i = 1; i <= NF; i++)
+            if ($i == "median") { v = $(i + 1); u = $(i + 2) }
+    }
+    END {
+        if (u == "µs" || u == "us") v *= 1e3
+        else if (u == "ms") v *= 1e6
+        per_op = v / 1024
+        if (per_op <= 0 || per_op >= 50) {
+            printf "FAIL: span enter/exit %.1f ns/op breaks the 50 ns budget\n", per_op
+            exit 1
+        }
+        printf "span enter/exit %.1f ns/op (budget 50 ns)\n", per_op
+    }'
+
 echo "==> resume smoke test (checkpoint/restore bit-identity)"
 cargo run --release --example resume_training
 

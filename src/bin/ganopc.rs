@@ -21,6 +21,7 @@ use gan_opc::ilt::{IltConfig, IltEngine};
 use gan_opc::litho::metrics::{DefectConfig, MaskMetrics};
 use gan_opc::litho::{Field, LithoModel};
 use gan_opc::mbopc::{MbOpcConfig, MbOpcEngine};
+use gan_opc::obs::{self, MetricsSnapshot};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -51,6 +52,12 @@ COMMANDS:
                    --size PX (default 128)
     suite        print the regenerated ICCAD-2013-like benchmark suite
     help         show this text
+
+GLOBAL OPTIONS (any command):
+    --metrics-json FILE   after the command, write the observability snapshot
+                          (counters, latency histograms, ILT loss/EPE traces)
+                          as JSON; also enables the per-iteration ILT EPE
+                          trace (every 8th iteration)
 ";
 
 fn parse_args(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -215,7 +222,30 @@ fn cmd_train(args: &HashMap<String, String>) -> Result<(), String> {
 
     let remaining = trainer.config().iterations.saturating_sub(trainer.step());
     eprintln!("[3/3] adversarial training ({remaining} steps)...");
-    let stats = trainer.train(&dataset);
+    // Train in slices so the log carries periodic obs summaries: per-step
+    // latency from the span histograms plus pool activity, with no timing
+    // code of its own.
+    let report_every = (remaining / 5).max(1);
+    let mut stats = Vec::with_capacity(remaining);
+    while trainer.step() < trainer.config().iterations {
+        let left = trainer.config().iterations - trainer.step();
+        stats.extend(trainer.train_for(&dataset, report_every.min(left)));
+        let snap = MetricsSnapshot::capture();
+        let step_ms = |name: &str, f: fn(&gan_opc::obs::SpanStats) -> f64| {
+            snap.span_stats(name).map(f).unwrap_or(0.0) / 1e6
+        };
+        eprintln!(
+            "      step {:>4}/{} | l2 {:.4} | step p50 {:.1} ms mean {:.1} ms | \
+             dispatches {} parks {}",
+            trainer.step(),
+            trainer.config().iterations,
+            stats.last().map(|s| s.l2_loss).unwrap_or(0.0),
+            step_ms("train_step", |s| s.p50_ns),
+            step_ms("train_step", |s| s.mean_ns),
+            snap.counter("pool_dispatches"),
+            snap.counter("pool_worker_parks"),
+        );
+    }
     eprintln!(
         "      mask L2 loss {:.4} -> {:.4}",
         stats.first().map(|s| s.l2_loss).unwrap_or(0.0),
@@ -291,6 +321,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let metrics_path = parsed.get("metrics-json").cloned();
+    if metrics_path.is_some() {
+        // Opt into the per-iteration ILT EPE trace only when someone is
+        // going to read it — it costs one extra aerial simulation per
+        // sampled iteration.
+        obs::set_epe_trace_stride(8);
+    }
     let result = match command.as_str() {
         "synthesize" => cmd_synthesize(&parsed),
         "opc" => cmd_opc(&parsed),
@@ -303,6 +340,15 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command '{other}'")),
     };
+    let result = result.and_then(|()| match &metrics_path {
+        None => Ok(()),
+        Some(path) => {
+            let snapshot = MetricsSnapshot::capture();
+            gan_opc::geometry::io::write_atomic(path, snapshot.render_json().as_bytes())
+                .map_err(|e| format!("cannot write metrics snapshot to {path}: {e}"))
+                .map(|()| eprintln!("wrote metrics snapshot to {path}"))
+        }
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {

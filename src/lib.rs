@@ -12,7 +12,10 @@
 //! * [`nn`] — CPU neural-network library (tensors, conv/deconv, optimizers);
 //! * [`ilt`] — inverse-lithography (MOSAIC-style) mask optimizer;
 //! * [`core`] — the GAN-OPC generator/discriminator, training algorithms and
-//!   the end-to-end mask-optimization flow.
+//!   the end-to-end mask-optimization flow;
+//! * [`obs`] — allocation-free counters/latency histograms/traces recorded
+//!   by every subsystem above, snapshotted via
+//!   [`obs::MetricsSnapshot::capture`].
 //!
 //! # Quickstart
 //!
@@ -44,6 +47,7 @@ pub use ganopc_ilt as ilt;
 pub use ganopc_litho as litho;
 pub use ganopc_mbopc as mbopc;
 pub use ganopc_nn as nn;
+pub use ganopc_obs as obs;
 
 /// Common imports for working with the GAN-OPC stack.
 pub mod prelude {
