@@ -253,6 +253,16 @@ impl GanOpcFlow {
         }
         let generator_runtime_s = gen_span.finish().as_secs_f64();
 
+        // Guard rail: a non-finite generator output would feed NaN into
+        // the refinement sigmoid and poison every iteration after it —
+        // catch it here, where the responsible stage is still known.
+        if generator_mask.as_slice().iter().any(|v| !v.is_finite()) {
+            obs::counter_add(obs::Counter::IltGuardTrips, 1);
+            return Err(GanOpcError::Config(
+                "generator produced a non-finite mask; refusing to start ILT refinement".into(),
+            ));
+        }
+
         // ILT refinement stage.
         let refine_span = obs::span(obs::Span::FlowRefinement);
         let refined = self.engine.optimize_from(target, &generator_mask)?;

@@ -39,6 +39,8 @@ mod discriminator;
 mod flow;
 mod generator;
 pub mod pretrain;
+pub mod ring;
+pub mod supervisor;
 pub mod train;
 pub mod validate;
 
@@ -47,6 +49,10 @@ pub use discriminator::Discriminator;
 pub use flow::{FlowConfig, FlowResult, GanOpcFlow, FRAME_NM};
 pub use generator::Generator;
 pub use pretrain::{PretrainConfig, Pretrainer};
+pub use ring::CheckpointRing;
+pub use supervisor::{
+    DivergenceError, DivergenceMonitor, DivergenceReason, SupervisorConfig, TrainSupervisor,
+};
 pub use train::{GanTrainer, StepStats, TrainConfig};
 pub use validate::{evaluate_generator, split_dataset, ValidationReport};
 
@@ -66,6 +72,8 @@ pub enum GanOpcError {
     Checkpoint(ganopc_nn::checkpoint::CheckpointError),
     /// Inconsistent configuration (sizes, pool factors, empty dataset...).
     Config(String),
+    /// A supervised training run diverged past its recovery budget.
+    Divergence(supervisor::DivergenceError),
 }
 
 impl fmt::Display for GanOpcError {
@@ -76,6 +84,7 @@ impl fmt::Display for GanOpcError {
             GanOpcError::Nn(e) => write!(f, "network failure: {e}"),
             GanOpcError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
             GanOpcError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            GanOpcError::Divergence(e) => write!(f, "divergence failure: {e}"),
         }
     }
 }
@@ -88,6 +97,7 @@ impl Error for GanOpcError {
             GanOpcError::Nn(e) => Some(e),
             GanOpcError::Checkpoint(e) => Some(e),
             GanOpcError::Config(_) => None,
+            GanOpcError::Divergence(e) => Some(e),
         }
     }
 }
@@ -113,6 +123,12 @@ impl From<ganopc_nn::NnError> for GanOpcError {
 impl From<ganopc_nn::checkpoint::CheckpointError> for GanOpcError {
     fn from(e: ganopc_nn::checkpoint::CheckpointError) -> Self {
         GanOpcError::Checkpoint(e)
+    }
+}
+
+impl From<supervisor::DivergenceError> for GanOpcError {
+    fn from(e: supervisor::DivergenceError) -> Self {
+        GanOpcError::Divergence(e)
     }
 }
 

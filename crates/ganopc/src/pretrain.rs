@@ -12,6 +12,7 @@
 
 use crate::dataset::EpochStream;
 use crate::{tensor_to_field, GanOpcError, Generator, OpcDataset};
+use ganopc_fault as fault;
 use ganopc_litho::LithoModel;
 use ganopc_nn::checkpoint::Checkpoint;
 use ganopc_nn::optim::Sgd;
@@ -234,7 +235,25 @@ fn run_steps(
         generator.backward_discard(&grad);
         opt.step(generator.net_mut());
         *step += 1;
-        stats.push(PretrainStats { step: *step, litho_error: err_total / batch as f64 });
+        let mut litho_error = err_total / batch as f64;
+        // Fault sink: armed builds may poison this step's reported litho
+        // error with NaN/∞ (constant None when `fault-inject` is off).
+        if let Some(poison) = fault::numeric_fault(fault::Domain::Pretrain, *step as u64) {
+            obs::counter_add(obs::Counter::FaultsInjected, 1);
+            litho_error = poison.as_f64();
+        }
+        // Guard rail: ILT-guided pretraining descends on the litho error
+        // directly, so a non-finite batch error means the gradients it
+        // just applied are suspect — abort typed instead of training on.
+        if !litho_error.is_finite() {
+            obs::counter_add(obs::Counter::IltGuardTrips, 1);
+            return Err(GanOpcError::Divergence(crate::supervisor::DivergenceError {
+                step: *step,
+                retries: 0,
+                reason: crate::supervisor::DivergenceReason::NonFiniteLoss,
+            }));
+        }
+        stats.push(PretrainStats { step: *step, litho_error });
     }
     Ok(stats)
 }

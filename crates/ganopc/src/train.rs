@@ -18,6 +18,7 @@
 use crate::dataset::EpochStream;
 use crate::validate::ValidationReport;
 use crate::{Discriminator, GanOpcError, Generator, OpcDataset};
+use ganopc_fault as fault;
 use ganopc_nn::checkpoint::Checkpoint;
 use ganopc_nn::loss::{bce_scalar_label_into, sum_squared_error_acc_into};
 use ganopc_nn::optim::Sgd;
@@ -384,14 +385,40 @@ impl GanTrainer {
         self.discriminator.zero_grads();
         drop(opt_span);
 
-        StepStats {
+        let mut stats = StepStats {
             step: self.step,
             adversarial_loss: adv_loss,
             l2_loss,
             discriminator_loss: loss_real + loss_fake,
             d_real,
             d_fake,
+        };
+        // Fault sink: armed builds may poison the *reported* losses with
+        // NaN/∞ at a chosen step to exercise the divergence monitor. Only
+        // the report is touched — network/optimizer state stays finite
+        // (the debug-build finite guards in `nn` would otherwise fire),
+        // mirroring a blow-up detected at loss readout.
+        if let Some(poison) = fault::numeric_fault(fault::Domain::Train, self.step as u64) {
+            obs::counter_add(obs::Counter::FaultsInjected, 1);
+            stats.adversarial_loss = poison.as_f64();
+            stats.l2_loss = poison.as_f64();
         }
+        stats
+    }
+
+    /// Scales both optimizers' learning rates by `factor` (supervisor LR
+    /// backoff). The *config* rates are deliberately untouched:
+    /// checkpoints persist the original schedule, so a rollback via
+    /// [`GanTrainer::from_checkpoint`] reconstructs the un-backed-off
+    /// optimizers and the supervisor re-applies its cumulative factor.
+    pub fn scale_learning_rates(&mut self, factor: f32) {
+        self.opt_g.set_learning_rate(self.opt_g.learning_rate() * factor);
+        self.opt_d.set_learning_rate(self.opt_d.learning_rate() * factor);
+    }
+
+    /// Current `(generator, discriminator)` optimizer learning rates.
+    pub fn learning_rates(&self) -> (f32, f32) {
+        (self.opt_g.learning_rate(), self.opt_d.learning_rate())
     }
 
     /// Trains with periodic hold-out validation, keeping the generator

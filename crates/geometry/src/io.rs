@@ -4,10 +4,43 @@
 //! files — viewable everywhere, writable without an image dependency.
 
 use crate::raster::Raster;
+use ganopc_fault as fault;
 use ganopc_obs as obs;
 use std::io::{self, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Applies an injected fault to the payload stream: `Tear(n)` passes
+/// exactly `n` bytes through and then errors (a torn write), `Enospc`
+/// fails the first write with the OS disk-full code. Only ever
+/// constructed when the `fault-inject` feature armed the sink.
+struct FaultedWriter<'a, W: Write> {
+    inner: &'a mut W,
+    mode: fault::WriteFault,
+    passed: usize,
+}
+
+impl<W: Write> Write for FaultedWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.mode {
+            fault::WriteFault::Tear(limit) => {
+                let allow = limit.saturating_sub(self.passed).min(buf.len());
+                if allow == 0 {
+                    return Err(io::Error::other("fault-inject: torn write"));
+                }
+                let n = self.inner.write(&buf[..allow])?;
+                self.passed += n;
+                Ok(n)
+            }
+            fault::WriteFault::Enospc => Err(io::Error::from_raw_os_error(28)), // ENOSPC
+            _ => self.inner.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
 
 /// Atomically writes `bytes` to `path`.
 ///
@@ -56,22 +89,79 @@ pub fn write_atomic_with<P: AsRef<Path>>(
         std::process::id(),
         SEQ.fetch_add(1, Ordering::Relaxed)
     ));
+    // Fault sink: with the `fault-inject` feature off this is a constant
+    // `None` and the whole branch folds away; armed, the installed plan
+    // may fail, tear or misdirect this specific write operation.
+    let injected = fault::next_write_fault();
+    if injected.is_some() {
+        obs::counter_add(obs::Counter::FaultsInjected, 1);
+    }
+    if matches!(injected, Some(fault::WriteFault::Fail)) {
+        return Err(io::Error::other("fault-inject: write failed"));
+    }
     let write_span = obs::span(obs::Span::ArtifactWrite);
     let written = (|| {
         let mut writer = io::BufWriter::new(std::fs::File::create(&tmp)?);
-        fill(&mut writer)?;
+        match injected {
+            Some(mode @ (fault::WriteFault::Tear(_) | fault::WriteFault::Enospc)) => {
+                fill(&mut FaultedWriter { inner: &mut writer, mode, passed: 0 })?
+            }
+            _ => fill(&mut writer)?,
+        }
         let file = writer.into_inner().map_err(|e| e.into_error())?;
         let fsync_span = obs::span(obs::Span::ArtifactFsync);
         let synced = file.sync_all();
         fsync_span.finish();
-        synced
+        synced?;
+        if matches!(injected, Some(fault::WriteFault::FsyncFail)) {
+            return Err(io::Error::other("fault-inject: fsync failed"));
+        }
+        Ok(())
     })();
-    let renamed = written.and_then(|()| std::fs::rename(&tmp, path));
+    let renamed = written.and_then(|()| {
+        if matches!(injected, Some(fault::WriteFault::RenameFail)) {
+            return Err(io::Error::other("fault-inject: rename failed"));
+        }
+        std::fs::rename(&tmp, path)
+    });
     write_span.finish();
     if renamed.is_err() {
         let _ = std::fs::remove_file(&tmp);
     }
     renamed
+}
+
+/// Removes stale atomic-write temporaries (`.{name}.{pid}.{seq}.tmp`)
+/// left in `dir` by a crashed writer, returning the number swept.
+///
+/// `write_atomic*` renames or removes its temporary before returning, so
+/// a matching file observed at command startup is an orphan from a dead
+/// process. Only names produced by this module (leading `.`, trailing
+/// `.tmp`) are touched; user files like `notes.tmp` survive. The sweep
+/// is advisory: unreadable directories and unremovable entries are
+/// skipped silently. Swept orphans are counted under `stale_tmp_swept`.
+pub fn sweep_stale_tmp<P: AsRef<Path>>(dir: P) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir.as_ref()) else {
+        return 0;
+    };
+    let mut swept = 0usize;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if name.starts_with('.')
+            && name.ends_with(".tmp")
+            && path.is_file()
+            && std::fs::remove_file(&path).is_ok()
+        {
+            swept += 1;
+        }
+    }
+    if swept > 0 {
+        obs::counter_add(obs::Counter::StaleTmpSwept, swept as u64);
+    }
+    swept
 }
 
 /// Encodes a raster as a binary (P5) PGM image.
@@ -242,6 +332,28 @@ mod tests {
         let dir = tmp_dir("atomic-dirtarget");
         assert!(write_atomic(dir.join(".."), b"x").is_err());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sweep_removes_only_stale_atomic_tmp_orphans() {
+        let dir = tmp_dir("sweep");
+        // Orphans in our naming scheme, as a crashed writer would leave.
+        std::fs::write(dir.join(".ckpt.12345.0.tmp"), b"orphan").unwrap();
+        std::fs::write(dir.join(".img.pgm.999.3.tmp"), b"orphan").unwrap();
+        // A user file with a tmp extension but not our dot-prefix.
+        std::fs::write(dir.join("notes.tmp"), b"keep me").unwrap();
+        write_atomic(dir.join("keep.bin"), b"payload").unwrap();
+        assert_eq!(sweep_stale_tmp(&dir), 2);
+        assert_eq!(std::fs::read(dir.join("keep.bin")).unwrap(), b"payload");
+        assert_eq!(std::fs::read(dir.join("notes.tmp")).unwrap(), b"keep me");
+        assert_eq!(sweep_stale_tmp(&dir), 0, "second sweep finds nothing");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sweep_of_missing_directory_is_a_noop() {
+        let dir = tmp_dir("sweep-missing").join("does-not-exist");
+        assert_eq!(sweep_stale_tmp(&dir), 0);
     }
 
     #[test]

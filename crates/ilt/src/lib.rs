@@ -40,6 +40,7 @@
 //! # }
 //! ```
 
+use ganopc_fault as fault;
 use ganopc_litho::{Field, LithoModel};
 use ganopc_obs as obs;
 use serde::{Deserialize, Serialize};
@@ -58,6 +59,13 @@ pub enum IltError {
         /// Received `(height, width)`.
         actual: (usize, usize),
     },
+    /// The descent error went NaN/∞ — the guard rail aborted the run
+    /// instead of propagating non-finite values through the best-mask
+    /// tracking.
+    NonFinite {
+        /// 1-based iteration at which the error left the finite domain.
+        iteration: usize,
+    },
 }
 
 impl fmt::Display for IltError {
@@ -69,6 +77,9 @@ impl fmt::Display for IltError {
                 "field shape {}x{} does not match model frame {}x{}",
                 actual.0, actual.1, expected.0, expected.1
             ),
+            IltError::NonFinite { iteration } => {
+                write!(f, "ILT error became non-finite at iteration {iteration}")
+            }
         }
     }
 }
@@ -298,6 +309,7 @@ impl IltEngine {
         let mut best_p = p.clone();
         let mut best_err = f64::INFINITY;
         let mut velocity = vec![0.0f32; h * w];
+        let mut since_best = 0usize;
         // Iteration-loop buffers, hoisted so the descent loop allocates
         // nothing: the relaxed mask, the dose-accumulated gradient and the
         // per-dose gradient written by the allocation-free litho entry point.
@@ -334,6 +346,21 @@ impl IltEngine {
                 }
             }
             err /= doses.len() as f64;
+            // Fault sink: armed builds may poison this iteration's error
+            // with NaN/∞ to exercise the guard rail below (constant None
+            // when the `fault-inject` feature is off).
+            if let Some(poison) = fault::numeric_fault(fault::Domain::Ilt, iterations as u64) {
+                obs::counter_add(obs::Counter::FaultsInjected, 1);
+                err = poison.as_f64();
+            }
+            // Guard rail: a non-finite error means the descent left the
+            // representable domain — abort typed rather than let NaN flow
+            // through the history and best-mask comparisons (every NaN
+            // compare is false, so `best_p` would silently freeze).
+            if !err.is_finite() {
+                obs::counter_add(obs::Counter::IltGuardTrips, 1);
+                return Err(IltError::NonFinite { iteration: iterations });
+            }
             history.push(err);
             obs::trace_push(obs::Trace::IltLoss, err);
             if let Some((bin_mask, aerial, wafer)) = epe_scratch.as_mut() {
@@ -360,6 +387,17 @@ impl IltEngine {
             if err < best_err {
                 best_err = err;
                 best_p = p.clone();
+                since_best = 0;
+            } else {
+                since_best += 1;
+                // Guard rail: the relative-improvement test below can be
+                // kept alive indefinitely by an oscillating error; if the
+                // *best* error has not moved for several patience windows
+                // the run is stuck — bail out with the best mask found.
+                if since_best >= self.config.patience.saturating_mul(4).max(8) {
+                    obs::counter_add(obs::Counter::IltGuardTrips, 1);
+                    break;
+                }
             }
             // Chain through the mask sigmoid: ∂E/∂P = ∂E/∂M_b · β·M_b(1−M_b),
             // then take a max-normalized step (scale-free descent).

@@ -419,3 +419,40 @@ pub fn head(xs: &[u32]) -> u32 {
         "unexpected diagnostic shape: {line}"
     );
 }
+
+// --- robustness-layer coverage ----------------------------------------------
+// The walker visits every `crates/*/src` tree, so the fault plane and the
+// supervisor are linted like any other crate; these fixtures pin the rules
+// that matter most there to the paths the robustness layer actually uses.
+
+#[test]
+fn fault_plane_must_not_bypass_the_atomic_writer() {
+    // A fault sink that wrote artifacts directly would dodge its own
+    // write-fault hooks; the atomic-write rule catches the bypass.
+    let src = "\
+pub fn persist_plan(plan: &[u8]) {
+    std::fs::write(\"plan.bin\", plan).ok();
+}
+";
+    let findings = lint_source("crates/fault/src/lib.rs", src);
+    assert_single(&findings, RULE_ATOMIC_WRITE, "crates/fault/src/lib.rs", 2);
+}
+
+#[test]
+fn supervisor_recovery_paths_obey_the_panic_policy() {
+    // Recovery code exists to turn faults into typed errors — an
+    // unsanctioned unwrap inside it defeats the whole layer, while the
+    // documented lock-poison recovery idiom stays sanctioned.
+    let src = "\
+pub fn handle_trip(ring: Option<&str>) -> &str {
+    ring.unwrap()
+}
+
+pub fn sink_lock(lock: &std::sync::Mutex<u32>) -> u32 {
+    // PANIC: lock poisoning is recovered, never propagated, by design.
+    *lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+";
+    let findings = lint_source("crates/ganopc/src/supervisor.rs", src);
+    assert_single(&findings, RULE_PANIC_POLICY, "crates/ganopc/src/supervisor.rs", 2);
+}

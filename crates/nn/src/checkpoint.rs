@@ -66,6 +66,25 @@ use std::error::Error;
 use std::fmt;
 use std::path::Path;
 
+/// Reads a checkpoint file, consulting the fault sink first: armed
+/// builds may fail the Nth checkpoint read with an injected I/O error
+/// (the hook is an inlined constant `false` otherwise).
+fn read_checkpoint_bytes(path: &Path) -> Result<Vec<u8>, CheckpointError> {
+    if ganopc_fault::next_read_fault() {
+        obs::counter_add(obs::Counter::FaultsInjected, 1);
+        return Err(CheckpointError::File {
+            op: "read",
+            path: path.to_path_buf(),
+            source: std::io::Error::other("fault-inject: read failed"),
+        });
+    }
+    std::fs::read(path).map_err(|source| CheckpointError::File {
+        op: "read",
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
 const MAGIC: &[u8; 8] = b"GANOPCKP";
 const VERSION_V1: u32 = 1;
 const VERSION_V2: u32 = 2;
@@ -351,11 +370,7 @@ pub fn save<P: AsRef<Path>>(path: P, tensors: &[Tensor]) -> Result<(), Checkpoin
 /// Propagates I/O failures (reported with the path) and format errors.
 pub fn load<P: AsRef<Path>>(path: P) -> Result<Vec<Tensor>, CheckpointError> {
     let path = path.as_ref();
-    let bytes = std::fs::read(path).map_err(|source| CheckpointError::File {
-        op: "read",
-        path: path.to_path_buf(),
-        source,
-    })?;
+    let bytes = read_checkpoint_bytes(path)?;
     from_bytes(&bytes)
 }
 
@@ -733,11 +748,7 @@ impl Checkpoint {
     /// Propagates I/O failures (reported with the path) and format errors.
     pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, CheckpointError> {
         let path = path.as_ref();
-        let bytes = std::fs::read(path).map_err(|source| CheckpointError::File {
-            op: "read",
-            path: path.to_path_buf(),
-            source,
-        })?;
+        let bytes = read_checkpoint_bytes(path)?;
         Checkpoint::from_bytes(&bytes)
     }
 }

@@ -170,6 +170,20 @@ registry_enum! {
         PoolWorkerWakes => "pool_worker_wakes",
         /// Checkpoint files written (`nn::checkpoint`).
         CheckpointSaves => "checkpoint_saves",
+        /// Faults fired by the `ganopc-fault` injection plane.
+        FaultsInjected => "faults_injected",
+        /// Stale `*.tmp` artifacts removed by the startup sweep.
+        StaleTmpSwept => "stale_tmp_swept",
+        /// Divergence-monitor trips (non-finite loss, explosion, stall).
+        SupervisorTrips => "supervisor_trips",
+        /// Rollbacks to a last-good ring checkpoint after a trip.
+        SupervisorRollbacks => "supervisor_rollbacks",
+        /// Supervised retry attempts consumed after a rollback.
+        SupervisorRetries => "supervisor_retries",
+        /// Ring-checkpoint saves that failed (tolerated, counted).
+        SupervisorCkptFailures => "supervisor_ckpt_failures",
+        /// ILT guard-rail trips (non-finite error, no-improvement bail).
+        IltGuardTrips => "ilt_guard_trips",
     }
 }
 

@@ -82,6 +82,13 @@ fn captured_snapshot_covers_the_whole_registry_in_declaration_order() {
             "pool_worker_parks",
             "pool_worker_wakes",
             "checkpoint_saves",
+            "faults_injected",
+            "stale_tmp_swept",
+            "supervisor_trips",
+            "supervisor_rollbacks",
+            "supervisor_retries",
+            "supervisor_ckpt_failures",
+            "ilt_guard_trips",
         ]
     );
     let spans: Vec<&str> = snap.spans.iter().map(|(n, _)| *n).collect();

@@ -22,6 +22,24 @@ GANOPC_THREADS=4 cargo test -q --workspace
 echo "==> allocation regression (steady-state train/infer must not allocate)"
 cargo test -q -p ganopc-core --test alloc_regression
 
+echo "==> fault soak (seeded fault plans: typed failures, reloadable artifacts)"
+cargo test -q --features fault-inject -p ganopc-core --test fault_soak
+
+echo "==> fault plane disarmed in default builds"
+# The default dependency graph must not enable ganopc-fault's feature —
+# production builds get the inlined no-op hooks, not the armed sink.
+if cargo tree -f '{p} {f}' --prefix none | grep -q "fault-inject"; then
+    echo "FAIL: fault-inject is enabled in the default feature graph"
+    exit 1
+fi
+# Self-test of the check: the armed graph must show the feature, or the
+# grep above is testing nothing.
+if ! cargo tree -f '{p} {f}' --prefix none --features fault-inject | grep -q "fault-inject"; then
+    echo "FAIL: --features fault-inject did not arm ganopc-fault"
+    exit 1
+fi
+echo "fault-inject off by default, on under --features fault-inject"
+
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 

@@ -41,6 +41,7 @@
 //! `DESIGN.md` / `EXPERIMENTS.md` for the experiment inventory.
 
 pub use ganopc_core as core;
+pub use ganopc_fault as fault;
 pub use ganopc_fft as fft;
 pub use ganopc_geometry as geometry;
 pub use ganopc_ilt as ilt;
